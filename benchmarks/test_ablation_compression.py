@@ -1,0 +1,68 @@
+"""Ablation: the Fig. 6 matrix compression on/off.
+
+Compression removes all-zero columns per row block before the column cut,
+shrinking input replication. The effect is largest on hyper-sparse
+matrices (graphs), smallest on dense-banded FEM blocks.
+"""
+
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.analysis import format_table
+from repro.core import run_spmv, time_spmv
+
+MATRICES = ("p2p-Gnutella31", "webbase-1M", "cant", "pwtk")
+
+
+@pytest.fixture(scope="module")
+def results(cfg1):
+    table = {}
+    for name in MATRICES:
+        matrix = bench_matrix(name, scale=0.1)
+        x = bench_vector(matrix.shape[1])
+        rows = {}
+        for compress in (True, False):
+            execution = run_spmv(matrix, x, cfg1,
+                                 compress=compress).execution
+            rows[compress] = (execution.input_bytes,
+                              time_spmv(execution, cfg1).seconds)
+        table[name] = rows
+    return table
+
+
+class TestCompressionAblation:
+    def test_compression_never_increases_replication(self, results):
+        for name, rows in results.items():
+            assert rows[True][0] <= rows[False][0], name
+
+    def test_compression_never_slows_down_much(self, results):
+        # FEM blocks are nearly dense column-wise: compression buys them
+        # little and can reshape tiles slightly for the worse, but must
+        # never cost more than a small factor
+        for name, rows in results.items():
+            assert rows[True][1] <= rows[False][1] * 1.25, name
+
+    def test_sparse_matrices_gain_most(self, results):
+        sparse_gain = (results["p2p-Gnutella31"][False][0]
+                       / results["p2p-Gnutella31"][True][0])
+        fem_gain = (results["cant"][False][0]
+                    / results["cant"][True][0])
+        assert sparse_gain > fem_gain
+
+
+def test_render_ablation(results, benchmark):
+    def render():
+        rows = []
+        for name, data in results.items():
+            rows.append([name,
+                         data[True][0] / 1024, data[False][0] / 1024,
+                         data[True][1] * 1e6, data[False][1] * 1e6,
+                         data[False][1] / data[True][1]])
+        text = format_table(
+            ["matrix", "repl KB (on)", "repl KB (off)", "time us (on)",
+             "time us (off)", "speedup"],
+            rows, title="Ablation: Fig. 6 matrix compression on/off")
+        print("\n" + text)
+        write_result("ablation_compression", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

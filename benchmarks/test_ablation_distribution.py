@@ -1,0 +1,63 @@
+"""Ablation: tile-to-bank distribution policies.
+
+Compares the paper policy (split + descending round packing) against the
+naive placement and the greedy-balanced assignment, quantifying the
+lock-step imbalance each leaves behind and what it costs in cycles.
+"""
+
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.analysis import format_table
+from repro.core import run_spmv, time_spmv
+
+MATRICES = ("bcsstk32", "facebook", "pwtk")
+POLICIES = ("paper", "naive", "balanced")
+
+
+@pytest.fixture(scope="module")
+def results(cfg1):
+    table = {}
+    for name in MATRICES:
+        matrix = bench_matrix(name, scale=0.1)
+        x = bench_vector(matrix.shape[1])
+        rows = {}
+        for policy in POLICIES:
+            execution = run_spmv(matrix, x, cfg1, policy=policy).execution
+            rows[policy] = (execution.imbalance, execution.banks_used,
+                            time_spmv(execution, cfg1).seconds)
+        table[name] = rows
+    return table
+
+
+class TestDistributionAblation:
+    def test_paper_policy_most_balanced(self, results):
+        for name, rows in results.items():
+            assert rows["paper"][0] <= rows["naive"][0] + 1e-9, name
+
+    def test_paper_policy_fastest_or_close(self, results):
+        for name, rows in results.items():
+            best = min(r[2] for r in rows.values())
+            assert rows["paper"][2] <= 1.35 * best, name
+
+    def test_imbalance_predicts_time(self, results):
+        """Within a matrix, more imbalance never means less time."""
+        for name, rows in results.items():
+            ordered = sorted(rows.values(), key=lambda r: r[0])
+            assert ordered[0][2] <= ordered[-1][2] * 1.4, name
+
+
+def test_render_ablation(results, benchmark):
+    def render():
+        rows = []
+        for name, data in results.items():
+            for policy in POLICIES:
+                imb, used, seconds = data[policy]
+                rows.append([f"{name}/{policy}", imb, used, seconds * 1e6])
+        text = format_table(
+            ["matrix/policy", "imbalance", "banks used", "time (us)"],
+            rows, title="Ablation: distribution policy")
+        print("\n" + text)
+        write_result("ablation_distribution", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Ablation: value-format sensitivity of pSyncPIM SpMV (§V, §VII-B).
+
+Narrow formats shrink COO elements and widen tiles (the 1 KB bound covers
+more indices), cutting matrix traffic and replication simultaneously.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.analysis import format_table
+from repro.core import run_spmv, time_spmv
+
+PRECISIONS = ("fp64", "fp32", "int16", "int8")
+
+
+@pytest.fixture(scope="module")
+def results(cfg1):
+    matrix = bench_matrix("soc-sign-epinions", scale=0.1)
+    x = np.round(bench_vector(matrix.shape[1]) * 4)
+    table = {}
+    for precision in PRECISIONS:
+        res = run_spmv(matrix, x, cfg1, precision=precision)
+        table[precision] = (res, time_spmv(res.execution, cfg1).seconds)
+    return table
+
+
+class TestPrecisionAblation:
+    def test_all_formats_compute_identically(self, results):
+        reference = results["fp64"][0].y
+        for precision, (res, _) in results.items():
+            np.testing.assert_allclose(res.y, reference, rtol=1e-9)
+
+    def test_time_monotone_in_element_width(self, results):
+        times = [results[p][1] for p in PRECISIONS]
+        assert times == sorted(times, reverse=True)
+
+    def test_int8_tiles_are_wider(self, results):
+        fp64_tiles = len(results["fp64"][0].plan.tiles)
+        int8_tiles = len(results["int8"][0].plan.tiles)
+        assert int8_tiles < fp64_tiles
+
+    def test_int8_substantially_faster(self, results):
+        assert results["fp64"][1] / results["int8"][1] > 1.6
+
+
+def test_render_ablation(results, benchmark):
+    def render():
+        rows = []
+        for precision in PRECISIONS:
+            res, seconds = results[precision]
+            rows.append([precision, len(res.plan.tiles),
+                         res.execution.input_bytes / 1024,
+                         res.execution.matrix_bytes / 1024,
+                         seconds * 1e6])
+        text = format_table(
+            ["format", "tiles", "repl KB", "matrix KB", "time (us)"],
+            rows,
+            title="Ablation: value format (soc-sign-epinions stand-in)")
+        print("\n" + text)
+        write_result("ablation_precision", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""Ablation: sparse-vector-queue sizing — SRAM area vs lock-step amortisation.
+
+The 3 x 192 B queues of Table VIII bound how many elements a processing
+unit buffers between row switches. Bigger queues amortise the
+PRE/ACT-dominated phase turnarounds over more elements but cost SRAM area
+per unit (and 32 units per die). The bench sweeps the sub-queue size and
+reports the performance/area trade-off around the paper's design point.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.analysis import format_table, unit_area
+from repro.config import ProcessingUnitConfig
+from repro.core import TraceParams, run_spmv, time_spmv
+
+SUBQUEUE_BYTES = (32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def sweep(cfg1):
+    matrix = bench_matrix("pwtk", scale=0.04)
+    x = bench_vector(matrix.shape[1])
+    execution = run_spmv(matrix, x, cfg1).execution
+    table = {}
+    for subq in SUBQUEUE_BYTES:
+        params = TraceParams(subqueue_bytes=subq)
+        seconds = time_spmv(execution, cfg1, params=params).seconds
+        pu = dataclasses.replace(ProcessingUnitConfig(),
+                                 sparse_queue_bytes=3 * subq)
+        area = unit_area(pu).per_unit
+        table[subq] = (seconds, area)
+    return table
+
+
+class TestQueueSizingAblation:
+    def test_bigger_queues_never_slower(self, sweep):
+        times = [sweep[q][0] for q in SUBQUEUE_BYTES]
+        assert times == sorted(times, reverse=True)
+
+    def test_area_grows_with_queues(self, sweep):
+        areas = [sweep[q][1] for q in SUBQUEUE_BYTES]
+        assert areas == sorted(areas)
+
+    def test_diminishing_returns_past_design_point(self, sweep):
+        """The paper's 64 B sub-queue sits near the knee: halving it costs
+        more time than doubling it saves."""
+        shrink_penalty = sweep[32][0] / sweep[64][0]
+        grow_gain = sweep[64][0] / sweep[128][0]
+        assert shrink_penalty > grow_gain
+
+    def test_paper_design_point_efficiency(self, sweep):
+        """Perf-per-area at 64 B is within 15% of the sweep's best."""
+        def efficiency(subq):
+            seconds, area = sweep[subq]
+            return 1.0 / (seconds * area)
+
+        best = max(efficiency(q) for q in SUBQUEUE_BYTES)
+        assert efficiency(64) > 0.85 * best
+
+
+def test_render_ablation(sweep, benchmark):
+    def render():
+        base_t, base_a = sweep[64]
+        rows = []
+        for subq in SUBQUEUE_BYTES:
+            seconds, area = sweep[subq]
+            rows.append([subq, 3 * subq, seconds * 1e6, base_t / seconds,
+                         area, area / base_a])
+        text = format_table(
+            ["sub-queue B", "SpVQ B", "SpMV us", "speedup vs 64 B",
+             "unit mm^2", "area vs 64 B"],
+            rows,
+            title="Ablation: sparse vector queue sizing "
+                  "(Table VIII design point: 64 B sub-queues)")
+        print("\n" + text)
+        write_result("ablation_queues", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablations on the SpTRSV design choices (§VI).
+
+Two sweeps: the recursive-block leaf size (the paper fixes it to the
+memory-row capacity) and the host-side level reordering (§VI-D).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.analysis import format_table
+from repro.core import ildu, run_sptrsv, time_sptrsv
+
+LEAVES = (32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def factors():
+    matrix = bench_matrix("poisson3Da", scale=0.3)
+    return ildu(matrix), bench_vector(matrix.shape[0])
+
+
+@pytest.fixture(scope="module")
+def leaf_sweep(factors, cfg1):
+    f, b = factors
+    table = {}
+    for leaf in LEAVES:
+        result = run_sptrsv(f.lower, b, cfg1, leaf_size=leaf)
+        table[leaf] = (result, time_sptrsv(result.execution, cfg1).seconds)
+    return table
+
+
+class TestLeafSizeAblation:
+    def test_all_leaf_sizes_solve_correctly(self, factors, leaf_sweep):
+        f, b = factors
+        for leaf, (result, _) in leaf_sweep.items():
+            residual = f.lower.matvec(result.x) - b
+            assert np.abs(residual).max() < 1e-8, leaf
+
+    def test_smaller_leaves_mean_more_levels(self, leaf_sweep):
+        levels = [leaf_sweep[leaf][0].execution.num_levels
+                  for leaf in LEAVES]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_row_capacity_leaf_is_competitive(self, leaf_sweep):
+        """The paper's choice (128 rows at FP64) should be near-optimal."""
+        times = {leaf: t for leaf, (_, t) in leaf_sweep.items()}
+        assert times[128] <= 1.5 * min(times.values())
+
+
+class TestReorderingAblation:
+    def test_reordering_never_hurts_level_count(self, factors, cfg1):
+        f, b = factors
+        with_r = run_sptrsv(f.lower, b, cfg1, reorder=True)
+        without = run_sptrsv(f.lower, b, cfg1, reorder=False)
+        assert with_r.execution.num_levels <= without.execution.num_levels
+        np.testing.assert_allclose(with_r.x, without.x, rtol=1e-9)
+
+    def test_reordering_speeds_up_or_ties(self, factors, cfg1):
+        f, b = factors
+        with_r = run_sptrsv(f.lower, b, cfg1, reorder=True)
+        without = run_sptrsv(f.lower, b, cfg1, reorder=False)
+        t_with = time_sptrsv(with_r.execution, cfg1).seconds
+        t_without = time_sptrsv(without.execution, cfg1).seconds
+        assert t_with <= 1.1 * t_without
+
+
+def test_render_ablation(leaf_sweep, benchmark):
+    def render():
+        rows = [[leaf, r.execution.num_levels,
+                 len(r.execution.update_elements), t * 1e6]
+                for leaf, (r, t) in leaf_sweep.items()]
+        text = format_table(
+            ["leaf size", "levels", "update SpMVs", "time (us)"],
+            rows, title="Ablation: SpTRSV recursive-block leaf size")
+        print("\n" + text)
+        write_result("ablation_sptrsv_leaf", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Figure 2: GPU execution-time breakdown of the Table II applications.
+
+The paper's motivation figure: on the GPU, SpMV dominates BFS/PR, vector
+operations dominate CC/SSSP, SpGEMM dominates TC, and SpTRSV is essential
+in the preconditioned solvers. The bench reruns all seven applications on
+the GPU cost model and checks those dominance claims.
+"""
+
+import pytest
+
+from conftest import bench_matrix, bench_vector, write_result
+from repro.apps import (GPUBackend, KERNEL_CLASSES, bfs,
+                        connected_components, pagerank, pbicgstab, pcg,
+                        sssp, triangle_count)
+from repro.analysis import format_breakdown
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    # larger graph scales than the kernel benches: the breakdown contrast
+    # (SpMV- vs vector-dominance) only emerges past launch-bound sizes
+    traverse = bench_matrix("amazon0312", scale=0.25)
+    graph = bench_matrix("wiki-Vote", scale=1.0)
+    tc_graph = bench_matrix("ca-CondMat", scale=0.6)
+    spd = bench_matrix("2cubes_sphere", scale=0.012)
+    b = bench_vector(spd.shape[0])
+    out = {}
+    out["BFS"] = bfs(traverse, 0, GPUBackend(graphblast=True))
+    out["CC"] = connected_components(graph, GPUBackend(graphblast=True))
+    out["PR"] = pagerank(traverse, GPUBackend(graphblast=True))
+    out["SSSP"] = sssp(graph, 0, GPUBackend(graphblast=True))
+    out["TC"] = triangle_count(tc_graph, GPUBackend(graphblast=True))
+    out["P-BCGS"] = pbicgstab(spd, b, GPUBackend(), tol=1e-9)
+    out["P-CG"] = pcg(spd, b, GPUBackend(), tol=1e-9)
+    return {name: r.breakdown for name, r in out.items()}
+
+
+def _share(breakdown, kind):
+    total = sum(breakdown.values())
+    return breakdown.get(kind, 0.0) / total if total else 0.0
+
+
+class TestFigure2Claims:
+    def test_spmv_dominates_bfs_and_pr(self, breakdowns):
+        assert _share(breakdowns["BFS"], "spmv") > 0.4
+        assert _share(breakdowns["PR"], "spmv") > 0.4
+
+    def test_vector_heavy_in_cc_and_sssp(self, breakdowns):
+        # paper: vector operations are the primary bottleneck for CC/SSSP
+        assert _share(breakdowns["CC"], "vector") > 0.5
+        assert _share(breakdowns["SSSP"], "vector") > 0.5
+        # ... and clearly heavier than in the traversal apps
+        assert (_share(breakdowns["CC"], "vector")
+                > _share(breakdowns["BFS"], "vector"))
+
+    def test_spgemm_dominates_tc(self, breakdowns):
+        assert _share(breakdowns["TC"], "spgemm") > 0.4
+
+    def test_sptrsv_essential_in_solvers(self, breakdowns):
+        assert _share(breakdowns["P-CG"], "sptrsv") > 0.25
+        assert _share(breakdowns["P-BCGS"], "sptrsv") > 0.25
+
+    def test_every_app_has_nonzero_total(self, breakdowns):
+        for name, breakdown in breakdowns.items():
+            assert sum(breakdown.values()) > 0, name
+
+
+def test_render_figure2(breakdowns, benchmark):
+    def render():
+        text = format_breakdown(
+            breakdowns, classes=KERNEL_CLASSES,
+            title="Figure 2: GPU execution-time breakdown per application")
+        print("\n" + text)
+        write_result("fig02_app_breakdown", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+def test_benchmark_gpu_pagerank(benchmark):
+    graph = bench_matrix("wiki-Vote", scale=0.1)
+    benchmark.pedantic(
+        lambda: pagerank(graph, GPUBackend(graphblast=True), iterations=5),
+        rounds=3, iterations=1)

@@ -1,0 +1,68 @@
+"""Figure 3: memory commands for SpMV, per-bank vs all-bank.
+
+The paper reports a 2.74x average command blow-up when the host must drive
+each bank individually. The bench regenerates the per-matrix ratios and
+asserts the direction (per-bank always needs more commands) plus a sane
+average band.
+"""
+
+import pytest
+
+from conftest import (SPMV_MATRICES, bench_matrix, bench_vector,
+                      write_result)
+from repro.analysis import format_table, geomean
+from repro.core import run_spmv, time_spmv
+
+
+def _command_ratio(name, cfg):
+    matrix = bench_matrix(name)
+    x = bench_vector(matrix.shape[1])
+    execution = run_spmv(matrix, x, cfg).execution
+    ab = time_spmv(execution, cfg, mode="ab")
+    pb = time_spmv(execution, cfg, mode="pb")
+    return ab.commands, pb.commands
+
+
+@pytest.fixture(scope="module")
+def ratios(cfg1):
+    out = {}
+    for name in SPMV_MATRICES:
+        ab, pb = _command_ratio(name, cfg1)
+        out[name] = (ab, pb, pb / ab)
+    return out
+
+
+def test_per_bank_always_needs_more_commands(ratios):
+    for name, (ab, pb, ratio) in ratios.items():
+        assert ratio > 1.0, f"{name}: PB should need more commands"
+
+
+def test_average_ratio_band(ratios):
+    mean = geomean([r for _, _, r in ratios.values()])
+    # paper: 2.74x average; the synthetic suite lands in the same regime
+    assert 1.5 < mean < 12.0
+
+
+def test_render_figure3(ratios, benchmark):
+    def render():
+        rows = [[name, ab, pb, ratio]
+                for name, (ab, pb, ratio) in ratios.items()]
+        rows.append(["geomean", "", "",
+                     geomean([r for _, _, r in ratios.values()])])
+        text = format_table(
+            ["matrix", "all-bank cmds", "per-bank cmds", "PB/AB"],
+            rows,
+            title="Figure 3: SpMV memory commands, per-bank vs all-bank "
+                  "(paper average: 2.74x)")
+        print("\n" + text)
+        write_result("fig03_command_counts", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+def test_benchmark_ab_scheduling(benchmark, cfg1):
+    """pytest-benchmark hook: price one AB SpMV trace."""
+    matrix = bench_matrix(SPMV_MATRICES[0])
+    x = bench_vector(matrix.shape[1])
+    execution = run_spmv(matrix, x, cfg1).execution
+    benchmark(lambda: time_spmv(execution, cfg1, mode="ab"))

@@ -1,0 +1,114 @@
+"""Figure 8: SpMV speedup over the RTX 3080 GPU.
+
+Systems compared, as in the paper: pSyncPIM (1x), its per-bank execution
+mode, SpaceA, and the 3x pSyncPIM configuration whose external bandwidth
+matches the GPU. Paper headline numbers: pSyncPIM 1.96x GPU, 6.26x its
+per-bank mode, 0.56x SpaceA; the 3x configuration reaches 4.43x GPU.
+
+The INT8-format matrices (soc-sign-epinions, Stanford, webbase-1M) run
+with the narrow value format on pSyncPIM only — SpaceA and the GPU stay at
+FP64/FP32 (§VII-B).
+"""
+
+import pytest
+
+from conftest import (INT8_MATRICES, SPMV_MATRICES, bench_matrix,
+                      bench_vector, write_result)
+from repro.analysis import format_table, geomean
+from repro.baselines import GPUModel, SpaceAModel
+from repro.core import run_spmv, time_spmv
+
+
+@pytest.fixture(scope="module")
+def results(cfg1, cfg3):
+    gpu = GPUModel()
+    spacea = SpaceAModel()
+    table = {}
+    for name in SPMV_MATRICES + INT8_MATRICES:
+        precision = "int8" if name in INT8_MATRICES else "fp64"
+        matrix = bench_matrix(name)
+        x = bench_vector(matrix.shape[1])
+        e1 = run_spmv(matrix, x, cfg1, precision=precision).execution
+        e3 = run_spmv(matrix, x, cfg3, precision=precision).execution
+        table[name] = {
+            "gpu": gpu.spmv_seconds(*matrix.shape, matrix.nnz),
+            "pim": time_spmv(e1, cfg1).seconds,
+            "pb": time_spmv(e1, cfg1, mode="pb").seconds,
+            "spacea": spacea.spmv_seconds(matrix.nnz),
+            "pim3x": time_spmv(e3, cfg3).seconds,
+        }
+    return table
+
+
+def _speedups(results, system):
+    return [row["gpu"] / row[system] for row in results.values()]
+
+
+class TestFigure8Claims:
+    def test_pim_beats_gpu_on_average(self, results):
+        assert geomean(_speedups(results, "pim")) > 1.0
+
+    def test_pim_beats_per_bank_mode(self, results):
+        for name, row in results.items():
+            assert row["pb"] > row["pim"], name
+        ratio = geomean([row["pb"] / row["pim"]
+                         for row in results.values()])
+        assert 3.0 < ratio < 12.0  # paper: 6.26x
+
+    def test_spacea_beats_pim_on_fp64(self, results):
+        fp64_rows = {k: v for k, v in results.items()
+                     if k not in INT8_MATRICES}
+        ratio = geomean([row["spacea"] / row["pim"]
+                         for row in fp64_rows.values()])
+        assert 0.3 < ratio < 1.0  # paper: pSyncPIM = 0.56x SpaceA
+
+    def test_int8_format_faster_than_fp64_on_pim(self, cfg1):
+        """Narrow formats shrink tiles and traffic on pSyncPIM
+        (the soc-sign-epinions / Stanford observation, §VII-B)."""
+        matrix = bench_matrix(INT8_MATRICES[0])
+        x = bench_vector(matrix.shape[1])
+        t8 = time_spmv(run_spmv(matrix, x, cfg1,
+                                precision="int8").execution, cfg1).seconds
+        t64 = time_spmv(run_spmv(matrix, x, cfg1,
+                                 precision="fp64").execution, cfg1).seconds
+        assert t8 < t64
+
+    def test_3x_configuration_scales(self, results):
+        gain = geomean([row["pim"] / row["pim3x"]
+                        for row in results.values()])
+        assert 1.2 < gain < 3.0  # paper: 2.26x, sub-linear
+
+    def test_3x_beats_gpu_strongly(self, results):
+        assert geomean(_speedups(results, "pim3x")) > 1.5  # paper: 4.43x
+
+
+def test_render_figure8(results, benchmark):
+    def render():
+        rows = []
+        for name, row in results.items():
+            rows.append([name,
+                         row["gpu"] / row["pim"],
+                         row["gpu"] / row["pb"],
+                         row["gpu"] / row["spacea"],
+                         row["gpu"] / row["pim3x"]])
+        rows.append(["geomean",
+                     geomean(_speedups(results, "pim")),
+                     geomean(_speedups(results, "pb")),
+                     geomean(_speedups(results, "spacea")),
+                     geomean(_speedups(results, "pim3x"))])
+        text = format_table(
+            ["matrix", "pSyncPIM", "per-bank", "SpaceA", "pSyncPIM 3x"],
+            rows,
+            title="Figure 8: SpMV speedup over RTX 3080 (paper geomeans: "
+                  "pSyncPIM 1.96, per-bank 1.96/6.26, 3x 4.43)")
+        print("\n" + text)
+        write_result("fig08_spmv_speedup", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+def test_benchmark_spmv_plan(benchmark, cfg1):
+    """Micro-benchmark: plan + execute one SpMV end to end (fast tier)."""
+    matrix = bench_matrix("cant")
+    x = bench_vector(matrix.shape[1])
+    benchmark(lambda: run_spmv(matrix, x, cfg1))

@@ -1,0 +1,85 @@
+"""Figure 10: dense BLAS throughput, per-bank PIM vs pSyncPIM.
+
+The paper sweeps five dense kernels at INT8 and FP64 and reports a 9.6x
+average speedup of all-bank over per-bank execution; the higher
+arithmetic-intensity format (INT8) achieves higher operation throughput in
+both modes. Throughput here is GOPS = elements x ops / modelled seconds.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.analysis import format_table, geomean
+from repro.core import time_dense_kernel
+
+#: kernel -> (reads per 32 B group, writes per group, ops per element)
+KERNELS = {
+    "DCOPY": (1, 1, 0),
+    "DSCAL": (1, 1, 1),
+    "DAXPY": (2, 1, 2),
+    "DDOT": (2, 0, 2),
+    "DNRM2": (1, 0, 2),
+}
+
+N_ELEMENTS = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def results(cfg1):
+    table = {}
+    for kernel, (reads, writes, ops) in KERNELS.items():
+        for precision in ("int8", "fp64"):
+            ab = time_dense_kernel(N_ELEMENTS, reads, writes, cfg1,
+                                   precision=precision, mode="ab")
+            pb = time_dense_kernel(N_ELEMENTS, reads, writes, cfg1,
+                                   precision=precision, mode="pb")
+            gops = (N_ELEMENTS * max(ops, 1)) / 1e9
+            table[(kernel, precision)] = {
+                "ab_gops": gops / ab.seconds,
+                "pb_gops": gops / pb.seconds,
+                "speedup": pb.seconds / ab.seconds,
+            }
+    return table
+
+
+class TestFigure10Claims:
+    def test_all_bank_always_faster(self, results):
+        for key, row in results.items():
+            assert row["speedup"] > 1.0, key
+
+    def test_average_speedup_band(self, results):
+        mean = geomean([row["speedup"] for row in results.values()])
+        assert 4.0 < mean < 16.0  # paper: 9.6x average
+
+    def test_int8_outperforms_fp64(self, results):
+        for kernel in KERNELS:
+            assert (results[(kernel, "int8")]["ab_gops"]
+                    > results[(kernel, "fp64")]["ab_gops"]), kernel
+
+    def test_throughput_positive_and_bounded(self, results, cfg1):
+        for (kernel, precision), row in results.items():
+            peak = cfg1.peak_throughput(precision) / 1e9
+            assert 0 < row["ab_gops"] < 10 * peak, (kernel, precision)
+
+
+def test_render_figure10(results, benchmark):
+    def render():
+        rows = []
+        for (kernel, precision), row in sorted(results.items()):
+            rows.append([f"{kernel}/{precision}", row["ab_gops"],
+                         row["pb_gops"], row["speedup"]])
+        rows.append(["geomean speedup", "", "",
+                     geomean([r["speedup"] for r in results.values()])])
+        text = format_table(
+            ["kernel", "pSyncPIM GOPS", "per-bank GOPS", "AB/PB"],
+            rows,
+            title="Figure 10: dense BLAS throughput (paper: 9.6x average "
+                  "all-bank speedup)")
+        print("\n" + text)
+        write_result("fig10_dense_blas", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+def test_benchmark_dense_kernel(benchmark, cfg1):
+    benchmark(lambda: time_dense_kernel(N_ELEMENTS, 2, 1, cfg1))

@@ -1,0 +1,74 @@
+"""Figure 14: SpMV energy, per-bank PIM vs pSyncPIM.
+
+The paper reports 2.67x average energy efficiency of all-bank over
+per-bank execution — mostly background energy over the much longer
+per-bank schedule — and a peak power below the 5 W HBM2 budget.
+"""
+
+import pytest
+
+from conftest import SPMV_MATRICES, bench_matrix, bench_vector, write_result
+from repro.analysis import format_table, geomean
+from repro.core import run_spmv, time_spmv
+from repro.dram import TimingParams
+
+
+@pytest.fixture(scope="module")
+def results(cfg1):
+    table = {}
+    for name in SPMV_MATRICES[:8]:
+        matrix = bench_matrix(name)
+        x = bench_vector(matrix.shape[1])
+        execution = run_spmv(matrix, x, cfg1).execution
+        ab = time_spmv(execution, cfg1, mode="ab", with_energy=True)
+        pb = time_spmv(execution, cfg1, mode="pb", with_energy=True)
+        table[name] = (ab, pb)
+    return table
+
+
+class TestFigure14Claims:
+    def test_per_bank_always_costs_more_energy(self, results):
+        for name, (ab, pb) in results.items():
+            assert pb.energy.total_joules > ab.energy.total_joules, name
+
+    def test_average_ratio_band(self, results):
+        mean = geomean([pb.energy.total_joules / ab.energy.total_joules
+                        for ab, pb in results.values()])
+        assert 1.3 < mean < 5.0  # paper: 2.67x
+
+    def test_power_budget(self, results):
+        timing = TimingParams()
+        for name, (ab, _) in results.items():
+            watts = ab.energy.average_power_watts(ab.cycles, timing)
+            assert watts < 6.0, name  # paper: at most 5.0 W
+
+    def test_background_drives_the_gap(self, results):
+        for name, (ab, pb) in results.items():
+            extra_bg = pb.energy.background_pj - ab.energy.background_pj
+            total_gap = pb.energy.total_pj - ab.energy.total_pj
+            assert extra_bg > 0.3 * total_gap, name
+
+
+def test_render_figure14(results, benchmark):
+    def render():
+        timing = TimingParams()
+        rows = []
+        for name, (ab, pb) in results.items():
+            rows.append([name, ab.energy.total_joules * 1e6,
+                         pb.energy.total_joules * 1e6,
+                         pb.energy.total_joules / ab.energy.total_joules,
+                         ab.energy.average_power_watts(ab.cycles, timing)])
+        rows.append(["geomean", "", "",
+                     geomean([pb.energy.total_joules
+                              / ab.energy.total_joules
+                              for ab, pb in results.values()]), ""])
+        text = format_table(
+            ["matrix", "AB energy (uJ)", "PB energy (uJ)", "PB/AB",
+             "AB power (W)"],
+            rows,
+            title="Figure 14: SpMV energy, per-bank vs pSyncPIM "
+                  "(paper: 2.67x, <=5.0 W)")
+        print("\n" + text)
+        write_result("fig14_energy", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Table X: area comparison against HBM-PIM and SpaceA."""
+
+import pytest
+
+from conftest import write_result
+from repro.analysis import TABLE_X, format_table, table_x_model, unit_area
+
+
+class TestTable10Claims:
+    def test_model_matches_paper(self):
+        row = table_x_model()
+        assert row["total_area_mm2"] == pytest.approx(68.99, abs=0.1)
+        assert row["pe_area_mm2"] == pytest.approx(30.94, abs=0.1)
+
+    def test_psyncpim_smaller_than_hbm_pim(self):
+        assert (TABLE_X["pSyncPIM"]["total_area"]
+                < TABLE_X["Samsung HBM-PIM"]["total_area"])
+
+    def test_pe_dominated_by_valu_and_state(self):
+        breakdown = unit_area()
+        assert breakdown.valu > breakdown.control
+        assert breakdown.registers + breakdown.queues > 0.2
+
+
+def test_render_table10(benchmark):
+    def render():
+        rows = []
+        for system, row in TABLE_X.items():
+            rows.append([system, row["baseline"], row["total_area"],
+                         row["stacks"], row["pe_area"],
+                         row["capacity_gb"]])
+        model = table_x_model()
+        rows.append(["pSyncPIM (model)", "HBM",
+                     model["total_area_mm2"], "8 PIM",
+                     model["pe_area_mm2"], 4])
+        text = format_table(
+            ["system", "baseline", "total mm^2", "stacks", "PE mm^2",
+             "capacity GB"],
+            rows, title="Table X: area comparison")
+        print("\n" + text)
+        write_result("table10_area", text)
+
+    benchmark.pedantic(render, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""pSyncPIM: partially synchronous sparse matrix execution for all-bank
+processing-in-memory architectures.
+
+Reproduction of Baek, Hwang & Huh, ISCA 2024. The package layers:
+
+* :mod:`repro.formats`  — sparse containers, Matrix Market I/O, Table IX.
+* :mod:`repro.dram`     — HBM2 command-level timing + energy simulator.
+* :mod:`repro.isa`      — the 15-instruction PIM ISA and assembler.
+* :mod:`repro.pim`      — processing units and the all-bank engine.
+* :mod:`repro.kernels`  — PIM kernel programs and drivers (Table III).
+* :mod:`repro.core`     — partitioning, distribution, SpMV/SpTRSV, timing.
+* :mod:`repro.baselines` — GPU / SpaceA / SpGEMM-accelerator models.
+* :mod:`repro.apps`     — the seven Table II applications.
+* :mod:`repro.analysis` — area model and report rendering.
+
+Entry point: :class:`PSyncPIM`.
+"""
+
+from .config import (HBM2Config, ProcessingUnitConfig, SystemConfig,
+                     default_system, gddr6_aim_system)
+from .core import PSyncPIM
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["PSyncPIM", "HBM2Config", "ProcessingUnitConfig",
+           "SystemConfig", "default_system", "gddr6_aim_system",
+           "ReproError", "__version__"]

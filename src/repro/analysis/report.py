@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+The paper's figures are bar charts; the benches regenerate them as aligned
+text tables (one row per matrix/application, one column per system) plus
+the geometric means the paper quotes. Keeping the renderer here means the
+benches stay pure data producers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 floatfmt: str = "{:.2f}") -> str:
+    """Render an aligned text table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(headers[i]),
+                  max((len(r[i]) for r in text_rows), default=0))
+              for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdowns: Dict[str, Dict[str, float]],
+                     classes: Sequence[str],
+                     title: Optional[str] = None) -> str:
+    """Render per-item kernel-class percentage breakdowns (Figs. 2, 12)."""
+    headers = ["item"] + [f"{c} %" for c in classes] + ["total (us)"]
+    rows = []
+    for item, ledger in breakdowns.items():
+        total = sum(ledger.get(c, 0.0) for c in classes)
+        shares = [100.0 * ledger.get(c, 0.0) / total if total else 0.0
+                  for c in classes]
+        rows.append([item] + shares + [total * 1e6])
+    return format_table(headers, rows, title=title)
+
+
+def normalised_series(times: Dict[str, float],
+                      baseline: str) -> Dict[str, float]:
+    """Speedups of every entry relative to *baseline* (paper convention:
+    values above 1 mean faster than the baseline)."""
+    base = times[baseline]
+    return {name: base / value for name, value in times.items()}

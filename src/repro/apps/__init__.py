@@ -1,0 +1,12 @@
+"""End-to-end applications (Table II) over the GPU/PIM backends."""
+
+from .backends import (KERNEL_CLASSES, Backend, GPUBackend, PIMBackend)
+from .graphs import (AppResult, bfs, connected_components, pagerank, sssp,
+                     triangle_count)
+from .solvers import SolverOutcome, pbicgstab, pcg
+
+__all__ = [
+    "KERNEL_CLASSES", "Backend", "GPUBackend", "PIMBackend", "AppResult",
+    "bfs", "connected_components", "pagerank", "sssp", "triangle_count",
+    "SolverOutcome", "pbicgstab", "pcg",
+]

@@ -1,0 +1,13 @@
+"""Baseline cost models: RTX 3080 GPU, SpaceA, the SpGEMM accelerator.
+
+The per-bank (PB) PIM baseline is not a separate model — it is the same
+pSyncPIM hardware driven with single-bank commands, priced by
+``repro.core.timing.time_spmv(..., mode="pb")``.
+"""
+
+from .gpu import GPUConfig, GPUModel
+from .spacea import SpaceAConfig, SpaceAModel
+from .spgemm_accel import SpGEMMAcceleratorConfig, SpGEMMAcceleratorModel
+
+__all__ = ["GPUConfig", "GPUModel", "SpaceAConfig", "SpaceAModel",
+           "SpGEMMAcceleratorConfig", "SpGEMMAcceleratorModel"]

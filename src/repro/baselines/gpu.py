@@ -1,0 +1,142 @@
+"""Analytic RTX 3080 baseline (cuSPARSE / GraphBLAST cost model).
+
+The paper measures wall-clock GPU time with CUDA 11.8, cuSPARSE and
+GraphBLAST (§VII-A). Without the hardware, this module reproduces the
+*behavioural shape* of those measurements with a calibrated roofline:
+
+* memory-bound kernels move a modelled byte count at a fraction of the
+  760 GB/s HBM bandwidth (irregular access keeps cuSPARSE SpMV far from
+  peak),
+* every kernel pays a launch/driver overhead, which dominates the many
+  small kernels the Table IX suite produces — the effect that makes PIM
+  attractive on these workloads in the first place,
+* cuSPARSE SpTRSV is level-scheduled: one kernel (and sync) per dependency
+  level (§III-C: "bound to the memory bandwidth, incurring low GPU usage"),
+* GraphBLAST's templated functors multiply vector-op cost (the §VII-E
+  observation behind the CC/SSSP results).
+
+Calibration constants are collected in :class:`GPUConfig` and recorded in
+EXPERIMENTS.md; they were chosen from public RTX 3080 characteristics and
+published cuSPARSE throughput ranges, then held fixed across all
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import element_size
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """RTX 3080 model parameters."""
+
+    name: str = "GeForce RTX 3080"
+    memory_bandwidth: float = 760e9     # bytes/s
+    l2_bytes: int = 5 * (1 << 20)       # 5 MB L2
+    fp32_flops: float = 29.8e12
+    fp64_flops: float = 0.47e12         # 1:64 of FP32 on GA102
+    #: Driver + launch latency charged once per kernel.
+    kernel_launch_s: float = 10e-6
+    #: Fraction of peak bandwidth an irregular SpMV sustains.
+    spmv_efficiency: float = 0.28
+    #: Fraction of peak bandwidth a coalesced streaming kernel sustains.
+    stream_efficiency: float = 0.75
+    #: Fraction of peak bandwidth the serialised SpTRSV sustains.
+    sptrsv_efficiency: float = 0.12
+    #: Per-level cost of cuSPARSE's level-sync solve (launch + sync).
+    level_sync_s: float = 6e-6
+    #: GraphBLAST functor/templating multiplier on vector kernels (§VII-E).
+    graphblast_overhead: float = 3.5
+    #: Fraction of x gathered from DRAM when x spills the L2 cache.
+    gather_miss_fraction: float = 0.5
+
+    def validate(self) -> "GPUConfig":
+        if not 0 < self.spmv_efficiency <= 1:
+            raise ConfigError("spmv_efficiency must be in (0, 1]")
+        if not 0 < self.stream_efficiency <= 1:
+            raise ConfigError("stream_efficiency must be in (0, 1]")
+        return self
+
+
+class GPUModel:
+    """Kernel-level time estimates for the RTX 3080 baseline."""
+
+    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+        self.config = config.validate()
+
+    # ------------------------------------------------------------------
+    def _stream_time(self, nbytes: float, efficiency: float) -> float:
+        return nbytes / (self.config.memory_bandwidth * efficiency)
+
+    # ------------------------------------------------------------------
+    def spmv_seconds(self, n_rows: int, n_cols: int, nnz: int,
+                     precision: str = "fp64") -> float:
+        """cuSPARSE CSR SpMV: matrix stream + row pointers + x gather + y.
+
+        cuSPARSE runs FP32/FP64; narrower operand formats do not speed the
+        GPU up (the paper exploits them only on pSyncPIM, §VII-B).
+        """
+        vb = max(element_size(precision), 4)  # cuSPARSE floor: fp32
+        matrix_bytes = nnz * (4 + vb) + (n_rows + 1) * 4
+        x_bytes = n_cols * vb
+        if x_bytes <= self.config.l2_bytes:
+            gather_bytes = x_bytes  # one compulsory pass through L2
+        else:
+            gather_bytes = nnz * vb * self.config.gather_miss_fraction
+        y_bytes = n_rows * vb
+        total = matrix_bytes + gather_bytes + y_bytes
+        return (self.config.kernel_launch_s
+                + self._stream_time(total, self.config.spmv_efficiency))
+
+    def sptrsv_seconds(self, n: int, nnz: int, num_levels: int,
+                       precision: str = "fp64") -> float:
+        """cuSPARSE csrsv2: one level-synchronised launch per level."""
+        vb = max(element_size(precision), 4)
+        traffic = nnz * (4 + vb) + 2 * n * vb + (n + 1) * 4
+        return (self.config.kernel_launch_s
+                + num_levels * self.config.level_sync_s
+                + self._stream_time(traffic, self.config.sptrsv_efficiency))
+
+    def dense_vector_seconds(self, n: int, streams: int = 2,
+                             precision: str = "fp64",
+                             graphblast: bool = False) -> float:
+        """Element-wise vector kernel moving *streams* n-vectors."""
+        vb = max(element_size(precision), 4)
+        time = (self.config.kernel_launch_s
+                + self._stream_time(n * vb * streams,
+                                    self.config.stream_efficiency))
+        if graphblast:
+            time *= self.config.graphblast_overhead
+        return time
+
+    def reduction_seconds(self, n: int, precision: str = "fp64",
+                          graphblast: bool = False) -> float:
+        """Dot/norm-style reduction: two passes (partial + final)."""
+        vb = max(element_size(precision), 4)
+        time = (2 * self.config.kernel_launch_s
+                + self._stream_time(2 * n * vb,
+                                    self.config.stream_efficiency))
+        if graphblast:
+            time *= self.config.graphblast_overhead
+        return time
+
+    def dgemv_seconds(self, m: int, n: int,
+                      precision: str = "fp64") -> float:
+        """Dense GEMV: one matrix pass, bandwidth bound."""
+        vb = max(element_size(precision), 4)
+        nbytes = m * n * vb + (m + n) * vb
+        return (self.config.kernel_launch_s
+                + self._stream_time(nbytes, self.config.stream_efficiency))
+
+    def spgemm_seconds(self, flops: float, nnz_inputs: int,
+                       nnz_output: int, precision: str = "fp64") -> float:
+        """cuSPARSE SpGEMM: hash-based, traffic + compute roofline."""
+        vb = max(element_size(precision), 4)
+        traffic = (nnz_inputs + nnz_output) * (4 + vb) * 2.0
+        compute = flops / self.config.fp64_flops
+        return (3 * self.config.kernel_launch_s  # symbolic+numeric+compact
+                + max(self._stream_time(traffic, self.config.spmv_efficiency),
+                      compute))

@@ -1,0 +1,66 @@
+"""SpaceA baseline: the asynchronous standalone PIM accelerator [47].
+
+SpaceA attaches a processing unit per bank inside an HMC-style stack,
+with *independent* per-bank memory controllers, remote bank accesses over
+the logic-layer network and a bank-level CAM that exploits input-vector
+reuse. Its advantages over pSyncPIM (paper §VII-B, where pSyncPIM reaches
+0.56x SpaceA) are architectural, not algorithmic:
+
+* no lock-step padding — each unit streams exactly its own elements, and
+  SpaceA's partitioner balances nnz across banks,
+* no host staging — input elements are fetched from remote banks through
+  the network (with CAM reuse), and partials accumulate in-memory,
+* no mode switching or host command-bus bottleneck.
+
+The model therefore prices SpaceA as balanced per-bank streaming with a
+small per-element overhead for network/CAM effects, always in FP64 (SpaceA
+supports only one value format — the reason pSyncPIM wins on the INT8
+matrices, §VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SpaceAConfig:
+    """SpaceA model parameters (HMC-based, paper Table X: 8 PIM stacks)."""
+
+    name: str = "SpaceA"
+    num_banks: int = 256
+    clock_hz: float = 1e9
+    #: Per-bank streaming rate. SpaceA sits in an HMC, whose vault-level
+    #: bandwidth (~10 GB/s per vault, shared by the vault's banks) is far
+    #: below an HBM2 bank's 8 B/cycle; the effective per-bank rate lands
+    #: around 2.5 B/cycle.
+    bank_bytes_per_cycle: float = 2.5
+    #: COO element footprint — SpaceA stores FP64 only.
+    element_bytes: int = 16
+    #: Multiplier over pure streaming for remote-access network latency
+    #: and CAM misses on the input vector.
+    overhead_factor: float = 1.6
+    #: Residual imbalance of SpaceA's nnz-balancing partitioner.
+    residual_imbalance: float = 1.1
+
+    def validate(self) -> "SpaceAConfig":
+        if self.overhead_factor < 1.0 or self.residual_imbalance < 1.0:
+            raise ConfigError("overheads cannot be below 1.0")
+        return self
+
+
+class SpaceAModel:
+    """SpMV time estimates for the SpaceA baseline."""
+
+    def __init__(self, config: SpaceAConfig = SpaceAConfig()) -> None:
+        self.config = config.validate()
+
+    def spmv_seconds(self, nnz: int) -> float:
+        """Balanced asynchronous streaming of nnz FP64 elements."""
+        cfg = self.config
+        per_bank = nnz / cfg.num_banks * cfg.residual_imbalance
+        cycles_per_element = (cfg.element_bytes / cfg.bank_bytes_per_cycle
+                              * cfg.overhead_factor)
+        return per_bank * cycles_per_element / cfg.clock_hz

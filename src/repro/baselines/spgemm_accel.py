@@ -1,0 +1,65 @@
+"""InnerSP-style SpGEMM accelerator model [4] (used for Fig. 13).
+
+The paper attaches a locality-aware inner-product SpGEMM accelerator to
+the host for the Triangle Count workload (§VII-E). Two operating points
+matter for Fig. 13:
+
+* **SpGEMM proper** — the accelerator's design point: inner products with
+  on-chip merging, roughly bandwidth-bound on the operand streams.
+* **SpMV treated as non-square SpGEMM** — the accelerator-only fallback:
+  a dense n-vector masquerading as an n x 1 sparse matrix defeats the
+  row-merging datapath (tiny inner products, no reuse), which the paper
+  calls "inefficient". The model charges a configurable inefficiency
+  multiplier for this path; offloading SpMV to pSyncPIM removes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SpGEMMAcceleratorConfig:
+    """InnerSP model parameters."""
+
+    name: str = "InnerSP"
+    memory_bandwidth: float = 256e9   # shares the host's HBM interface
+    efficiency: float = 0.6           # streaming inner-product pipelines
+    mac_rate: float = 256e9           # multiply-accumulates per second
+    #: Cost multiplier when an SpMV is forced through the SpGEMM datapath.
+    spmv_inefficiency: float = 25.0
+    setup_s: float = 2e-6
+
+    def validate(self) -> "SpGEMMAcceleratorConfig":
+        if self.spmv_inefficiency < 1.0:
+            raise ConfigError("SpMV-as-SpGEMM cannot be cheaper than SpMV")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError("efficiency must be in (0, 1]")
+        return self
+
+
+class SpGEMMAcceleratorModel:
+    """Time estimates for the SpGEMM accelerator."""
+
+    def __init__(self,
+                 config: SpGEMMAcceleratorConfig = SpGEMMAcceleratorConfig()
+                 ) -> None:
+        self.config = config.validate()
+
+    def spgemm_seconds(self, flops: float, nnz_inputs: int,
+                       nnz_output: int) -> float:
+        """A @ B on the accelerator: traffic/compute roofline."""
+        cfg = self.config
+        traffic = (nnz_inputs + nnz_output) * 12.0
+        stream = traffic / (cfg.memory_bandwidth * cfg.efficiency)
+        compute = (flops / 2.0) / cfg.mac_rate
+        return cfg.setup_s + max(stream, compute)
+
+    def spmv_as_spgemm_seconds(self, n_rows: int, nnz: int) -> float:
+        """SpMV forced through the SpGEMM datapath (accelerator-only TC)."""
+        cfg = self.config
+        traffic = nnz * 12.0 + n_rows * 8.0
+        base = traffic / (cfg.memory_bandwidth * cfg.efficiency)
+        return cfg.setup_s + base * cfg.spmv_inefficiency

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``info``   — the modelled hardware (Tables VII/VIII, area, baselines).
+* ``suite``  — the Table IX matrix registry.
+* ``spmv``   — run one SpMV and print the plan, timing and energy.
+* ``sptrsv`` — factorise a suite matrix with ILDU and time both solves.
+* ``app``    — run one Table II application on the GPU and PIM backends.
+
+Matrices come from the Table IX registry (``--matrix``) or a Matrix Market
+file (``--mtx``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis import format_table, table_x_model, unit_area
+from .baselines import GPUModel, SpaceAModel
+from .config import default_system
+from .core import PSyncPIM, time_spmv
+from .dram import TimingParams
+from .errors import ReproError
+from .formats import (generate, matrix_spec, read_matrix_market,
+                      suite_names)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="psyncpim",
+        description="pSyncPIM (ISCA 2024) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    info = sub.add_parser("info", help="show the modelled hardware")
+    info.set_defaults(handler=_cmd_info)
+
+    suite = sub.add_parser("suite", help="list the Table IX matrix suite")
+    suite.set_defaults(handler=_cmd_suite)
+
+    spmv = sub.add_parser("spmv", help="run and price one SpMV")
+    _matrix_args(spmv)
+    spmv.add_argument("--precision", default="fp64",
+                      choices=["fp64", "fp32", "int32", "int16", "int8"])
+    spmv.add_argument("--format", dest="matrix_format", default="coo",
+                      choices=["coo", "csr", "bitmap"])
+    spmv.add_argument("--cubes", type=int, default=1)
+    spmv.add_argument("--no-compress", action="store_true",
+                      help="disable the Fig. 6 matrix compression")
+    spmv.set_defaults(handler=_cmd_spmv)
+
+    sptrsv = sub.add_parser("sptrsv",
+                            help="ILDU-factorise and time both solves")
+    _matrix_args(sptrsv)
+    sptrsv.add_argument("--cubes", type=int, default=1)
+    sptrsv.set_defaults(handler=_cmd_sptrsv)
+
+    app = sub.add_parser("app", help="run a Table II application")
+    _matrix_args(app)
+    app.add_argument("name", choices=["bfs", "cc", "pr", "sssp", "tc",
+                                      "pcg", "pbicgstab"])
+    app.set_defaults(handler=_cmd_app)
+    return parser
+
+
+def _matrix_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--matrix", default="poisson3Da",
+                        help="Table IX matrix name (see `suite`)")
+    parser.add_argument("--mtx", default=None,
+                        help="Matrix Market file (overrides --matrix)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="dimension scale for suite matrices")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_matrix(args):
+    if args.mtx:
+        return read_matrix_market(args.mtx)
+    return generate(args.matrix, scale=args.scale)
+
+
+# ----------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    cfg = default_system()
+    mem, pu = cfg.memory, cfg.unit
+    print(format_table(["field", "value"], [
+        ["protocol", "HBM2"],
+        ["bank groups x banks", f"{mem.num_bankgroups} x "
+                                f"{mem.banks_per_group}"],
+        ["pseudo channels", mem.num_pseudo_channels],
+        ["rows x row bytes", f"{mem.num_rows} x {mem.row_bytes}"],
+        ["capacity", f"{mem.capacity_bytes >> 30} GB"],
+        ["ext / int bandwidth", f"{mem.external_bandwidth / 1e9:.0f} / "
+                                f"{mem.internal_bandwidth / 1e9:.0f} GB/s"],
+        ["processing units", cfg.total_units],
+        ["PU clock / datapath", f"{pu.clock_hz / 1e6:.0f} MHz / "
+                                f"{pu.datapath_bytes} B"],
+        ["registers", f"{pu.num_dense_registers} x "
+                      f"{pu.dense_register_bytes} B dense, "
+                      f"{pu.scalar_register_bytes} B scalar"],
+        ["sparse queues", f"{pu.num_sparse_queues} x "
+                          f"{pu.sparse_queue_bytes} B"],
+    ], title="pSyncPIM configuration (paper Tables VII / VIII)"))
+    area = unit_area()
+    model = table_x_model()
+    print(f"\narea: {area.per_unit:.3f} mm^2/unit, "
+          f"{model['total_area_mm2']:.2f} mm^2/die "
+          f"(paper: {model['paper_total_area_mm2']} mm^2)")
+    print(f"baselines: {GPUModel().config.name}, "
+          f"{SpaceAModel().config.name}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = []
+    for name in suite_names():
+        spec = matrix_spec(name)
+        rows.append([name, spec.dimension, f"{spec.density:.2e}",
+                     spec.kind, " ".join(spec.applications)])
+    print(format_table(["matrix", "dimension", "density", "pattern",
+                        "used by"], rows,
+                       title="Table IX evaluation suite"))
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    matrix = _load_matrix(args)
+    pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision)
+    x = np.random.default_rng(args.seed).random(matrix.shape[1])
+    result = pim.spmv(matrix, x, compress=not args.no_compress,
+                      precision=args.precision,
+                      matrix_format=args.matrix_format)
+    assert np.allclose(result.y, matrix.matvec(x))
+    ex = result.execution
+    ab = pim.time_spmv(result, with_energy=True)
+    pb = time_spmv(ex, pim.config, mode="pb")
+    gpu = GPUModel().spmv_seconds(*matrix.shape, matrix.nnz,
+                                  args.precision)
+    watts = ab.energy.average_power_watts(ab.cycles, TimingParams())
+    print(format_table(["metric", "value"], [
+        ["matrix", f"{matrix.shape[0]}x{matrix.shape[1]}, "
+                   f"nnz={matrix.nnz}"],
+        ["tiles / rounds", f"{len(result.plan.tiles)} / {ex.num_rounds}"],
+        ["banks used / imbalance", f"{ex.banks_used}/{ex.num_banks} / "
+                                   f"{ex.imbalance:.2f}"],
+        ["staged input / output", f"{ex.input_bytes / 1024:.1f} / "
+                                  f"{ex.output_bytes / 1024:.1f} KB"],
+        ["all-bank time", f"{ab.seconds * 1e6:.2f} us "
+                          f"({ab.commands} commands)"],
+        ["per-bank time", f"{pb.seconds * 1e6:.2f} us "
+                          f"({pb.seconds / ab.seconds:.2f}x slower)"],
+        ["RTX 3080 estimate", f"{gpu * 1e6:.2f} us "
+                              f"(speedup {gpu / ab.seconds:.2f}x)"],
+        ["energy / power", f"{ab.energy.total_joules * 1e6:.1f} uJ / "
+                           f"{watts:.2f} W"],
+    ], title=f"SpMV on pSyncPIM ({args.precision}, "
+             f"{args.matrix_format})"))
+    return 0
+
+
+def _cmd_sptrsv(args) -> int:
+    matrix = _load_matrix(args)
+    pim = PSyncPIM(num_cubes=args.cubes)
+    factors = pim.factorize(matrix)
+    b = np.random.default_rng(args.seed).random(matrix.shape[0])
+    rows = []
+    for label, tri, lower in (("lower", factors.lower, True),
+                              ("upper", factors.upper, False)):
+        solve = pim.sptrsv(tri, b, lower=lower)
+        report = pim.time_sptrsv(solve)
+        residual = float(np.abs(tri.matvec(solve.x) - b).max())
+        rows.append([label, tri.nnz, solve.execution.num_levels,
+                     report.seconds * 1e6, f"{residual:.2e}"])
+    print(format_table(["factor", "nnz", "levels", "time (us)",
+                        "residual"], rows,
+                       title="SpTRSV via ILDU on pSyncPIM"))
+    return 0
+
+
+def _cmd_app(args) -> int:
+    from .apps import (GPUBackend, PIMBackend, bfs, connected_components,
+                       pagerank, pbicgstab, pcg, sssp, triangle_count)
+    matrix = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+
+    def run(backend):
+        if args.name == "bfs":
+            return bfs(matrix, 0, backend)
+        if args.name == "cc":
+            return connected_components(matrix, backend)
+        if args.name == "pr":
+            return pagerank(matrix, backend)
+        if args.name == "sssp":
+            return sssp(matrix, 0, backend)
+        if args.name == "tc":
+            return triangle_count(matrix, backend)
+        b = matrix.matvec(rng.random(matrix.shape[0]))
+        solver = pcg if args.name == "pcg" else pbicgstab
+        return solver(matrix, b, backend, tol=1e-9)
+
+    gpu_run = run(GPUBackend(graphblast=args.name in
+                             ("bfs", "cc", "pr", "sssp", "tc")))
+    pim_run = run(PIMBackend())
+    rows = [[cls, gpu_run.breakdown.get(cls, 0.0) * 1e6,
+             pim_run.breakdown.get(cls, 0.0) * 1e6]
+            for cls in ("spmv", "sptrsv", "vector", "spgemm")]
+    rows.append(["total", gpu_run.total_seconds * 1e6,
+                 pim_run.total_seconds * 1e6])
+    print(format_table(["kernel class", "GPU (us)", "pSyncPIM (us)"],
+                       rows,
+                       title=f"{gpu_run.name}: {gpu_run.iterations} "
+                             f"iterations, speedup "
+                             f"{gpu_run.total_seconds / pim_run.total_seconds:.2f}x"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

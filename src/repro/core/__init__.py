@@ -1,0 +1,29 @@
+"""pSyncPIM core: partitioning, distribution, SpMV/SpTRSV execution,
+trace synthesis and timing."""
+
+from .partition import (PartitionPlan, SubMatrix, partition, reassemble,
+                        tile_capacity)
+from .distribution import (Assignment, accumulation_traffic_bytes,
+                           distribute, replication_traffic_bytes)
+from .spmv import SpmvExecution, SpmvResult, element_bytes, run_spmv
+from .sptrsv import (ILDUFactors, SpTrsvExecution, SpTrsvResult, ildu,
+                     level_schedule, recursive_plan, reorder_by_levels,
+                     run_sptrsv, solve_unit_triangular_reference)
+from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
+                    spmv_pb_trace, sptrsv_ab_trace)
+from .timing import (PerfReport, price_trace, time_dense_kernel, time_spmv,
+                     time_sptrsv)
+from .runtime import PSyncPIM
+
+__all__ = [
+    "PartitionPlan", "SubMatrix", "partition", "reassemble",
+    "tile_capacity", "Assignment", "accumulation_traffic_bytes",
+    "distribute", "replication_traffic_bytes", "SpmvExecution",
+    "SpmvResult", "element_bytes", "run_spmv", "ILDUFactors",
+    "SpTrsvExecution", "SpTrsvResult", "ildu", "level_schedule",
+    "recursive_plan", "reorder_by_levels", "run_sptrsv",
+    "solve_unit_triangular_reference", "TraceParams",
+    "dense_stream_trace", "spmv_ab_trace", "spmv_pb_trace",
+    "sptrsv_ab_trace", "PerfReport", "price_trace", "time_dense_kernel",
+    "time_spmv", "time_sptrsv",
+]

@@ -1,0 +1,214 @@
+"""Tile-to-bank distribution policies (§V and the Fig. 8 discussion).
+
+After partitioning, tiles must be assigned to the processing units. Under
+all-bank control the execution time of a *round* (one tile per bank running
+in lock step) is set by the largest tile in it, and every tile a bank
+receives costs input replication and output accumulation over the external
+interface.
+
+Two policies are provided:
+
+* ``"paper"`` — tiles are placed in (row-block, column-block) order,
+  one per bank, filling rounds sequentially. This is the paper's
+  replication/accumulation-minimising placement: tiles of the same row
+  block land on consecutive banks, and no tile is split or duplicated. Its
+  known weakness is under-utilisation when a matrix yields fewer tiles than
+  banks (the bcsstk32 observation in §VII-B: 101 of 256 banks used).
+* ``"balanced"`` — greedy longest-processing-time assignment: rounds are
+  built by sorting tiles by nnz and placing each into the currently
+  lightest bank. Used by the ablation benchmark to quantify what evenness
+  would buy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MappingError
+from .partition import PartitionPlan, SubMatrix
+
+
+@dataclass
+class Assignment:
+    """Tiles arranged into lock-step rounds: ``rounds[r][b]`` is bank *b*'s
+    tile in round *r* (or None)."""
+
+    num_banks: int
+    rounds: List[List[Optional[SubMatrix]]]
+    policy: str
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def banks_used(self) -> int:
+        """Banks that received at least one tile (utilisation metric)."""
+        used = set()
+        for round_tiles in self.rounds:
+            used.update(b for b, tile in enumerate(round_tiles)
+                        if tile is not None)
+        return len(used)
+
+    def round_batch_elements(self, round_index: int) -> int:
+        """nnz of the largest tile in a round — its lock-step length."""
+        tiles = self.rounds[round_index]
+        return max((tile.nnz for tile in tiles if tile is not None),
+                   default=0)
+
+    @property
+    def critical_path_elements(self) -> int:
+        """Sum over rounds of the per-round maxima: the lock-step cost."""
+        return sum(self.round_batch_elements(r)
+                   for r in range(self.num_rounds))
+
+    @property
+    def total_elements(self) -> int:
+        return sum(tile.nnz for round_tiles in self.rounds
+                   for tile in round_tiles if tile is not None)
+
+    @property
+    def imbalance(self) -> float:
+        """critical path / ideal (total / banks); 1.0 is perfect balance."""
+        ideal = self.total_elements / self.num_banks
+        if ideal == 0:
+            return 1.0
+        return self.critical_path_elements / ideal
+
+    def per_bank_elements(self) -> np.ndarray:
+        """Total nnz each bank processes over all rounds."""
+        loads = np.zeros(self.num_banks, dtype=np.int64)
+        for round_tiles in self.rounds:
+            for b, tile in enumerate(round_tiles):
+                if tile is not None:
+                    loads[b] += tile.nnz
+        return loads
+
+
+def split_oversized(tiles: Sequence[SubMatrix],
+                    nnz_cap: int) -> List[SubMatrix]:
+    """Split tiles whose element count exceeds *nnz_cap*.
+
+    This is the workload-evenness half of the paper's distribution
+    algorithm: the 1 KB constraint bounds a tile's *dimensions*, not its
+    population, so hub rows produce heavy tiles that would set the
+    lock-step critical path. Splitting a heavy tile duplicates its input
+    segment (more replication traffic — the trade-off §V discusses) but
+    spreads its elements over several banks. Elements stay row-sorted.
+    """
+    if nnz_cap <= 0:
+        raise MappingError("nnz cap must be positive")
+    out: List[SubMatrix] = []
+    for tile in tiles:
+        if tile.nnz <= nnz_cap:
+            out.append(tile)
+            continue
+        pieces = -(-tile.nnz // nnz_cap)
+        share = -(-tile.nnz // pieces)
+        for piece in range(pieces):
+            lo = piece * share
+            hi = min(lo + share, tile.nnz)
+            if lo >= hi:
+                continue
+            out.append(SubMatrix(row_range=tile.row_range,
+                                 global_cols=tile.global_cols,
+                                 rows=tile.rows[lo:hi],
+                                 cols=tile.cols[lo:hi],
+                                 vals=tile.vals[lo:hi]))
+    return out
+
+
+def distribute(plan: PartitionPlan, num_banks: int,
+               policy: str = "paper",
+               balance_slack: float = 0.6) -> Assignment:
+    """Assign a partition plan's tiles to *num_banks* banks.
+
+    Under the default policy, tiles heavier than ``balance_slack`` times
+    the ideal per-bank share are first split (see :func:`split_oversized`),
+    then placed round-robin in (row-block, column-block) order. Pass
+    ``balance_slack=0`` to disable splitting (the naive-distribution
+    ablation).
+    """
+    if num_banks <= 0:
+        raise MappingError("need at least one bank")
+    tiles: Sequence[SubMatrix] = plan.tiles
+    if policy == "paper":
+        if balance_slack and plan.total_nnz:
+            cap = max(16, math.ceil(plan.total_nnz / num_banks
+                                    * balance_slack))
+            tiles = split_oversized(tiles, cap)
+        # Descending-size round packing: each lock-step round costs its
+        # heaviest tile, so grouping similar-sized tiles makes the round
+        # maxima telescope instead of every round paying for one straggler.
+        tiles = sorted(tiles, key=lambda t: -t.nnz)
+        rounds = _round_robin(tiles, num_banks)
+    elif policy == "naive":
+        rounds = _round_robin(tiles, num_banks)
+    elif policy == "balanced":
+        rounds = _balanced(tiles, num_banks)
+    else:
+        raise MappingError(f"unknown distribution policy {policy!r}")
+    assignment = Assignment(num_banks=num_banks, rounds=rounds,
+                            policy=policy)
+    _check(assignment, plan)
+    return assignment
+
+
+def _round_robin(tiles: Sequence[SubMatrix],
+                 num_banks: int) -> List[List[Optional[SubMatrix]]]:
+    rounds: List[List[Optional[SubMatrix]]] = []
+    for index, tile in enumerate(tiles):
+        round_index, bank = divmod(index, num_banks)
+        if round_index == len(rounds):
+            rounds.append([None] * num_banks)
+        rounds[round_index][bank] = tile
+    return rounds or [[None] * num_banks]
+
+
+def _balanced(tiles: Sequence[SubMatrix],
+              num_banks: int) -> List[List[Optional[SubMatrix]]]:
+    order = sorted(range(len(tiles)), key=lambda i: -tiles[i].nnz)
+    per_bank: List[List[SubMatrix]] = [[] for _ in range(num_banks)]
+    loads = np.zeros(num_banks, dtype=np.int64)
+    for index in order:
+        bank = int(np.argmin(loads))
+        per_bank[bank].append(tiles[index])
+        loads[bank] += tiles[index].nnz
+    depth = max((len(stack) for stack in per_bank), default=0)
+    rounds = []
+    for r in range(max(depth, 1)):
+        rounds.append([stack[r] if r < len(stack) else None
+                       for stack in per_bank])
+    return rounds
+
+
+def _check(assignment: Assignment, plan: PartitionPlan) -> None:
+    placed = sum(tile.nnz for round_tiles in assignment.rounds
+                 for tile in round_tiles if tile is not None)
+    if placed != plan.total_nnz:
+        raise MappingError(
+            f"distribution dropped elements: {placed} != {plan.total_nnz}")
+
+
+def replication_traffic_bytes(assignment: Assignment,
+                              value_bytes: int) -> int:
+    """Host bytes written to stage every tile's input segment (per SpMV)."""
+    return sum(tile.x_length * value_bytes
+               for round_tiles in assignment.rounds
+               for tile in round_tiles if tile is not None)
+
+
+def accumulation_traffic_bytes(assignment: Assignment,
+                               value_bytes: int) -> int:
+    """Host bytes read back to merge every tile's output partial.
+
+    Only rows a tile actually touched are read (Fig. 6's output-side
+    compression).
+    """
+    return sum(tile.touched_rows * value_bytes
+               for round_tiles in assignment.rounds
+               for tile in round_tiles if tile is not None)

@@ -1,0 +1,209 @@
+"""Sub-matrix partitioning and compression for bank-parallel SpMV (§V).
+
+The sparse matrix is cut row-wise into blocks whose output tiles fit one
+memory row, then — the paper's *matrix compression*, Fig. 6 — all-zero
+columns are removed per row block before cutting column-wise, so each input
+segment replicates only columns that actually feed the block. The column
+dimension of every tile is likewise bounded by the memory row, giving the
+1 KB x 1 KB sub-matrix constraint of §V.
+
+The output is a list of :class:`SubMatrix` descriptors with *tile-local*
+indices plus the metadata the host needs to stage inputs (which global
+columns to replicate) and merge outputs (which global rows to accumulate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig, element_size
+from ..errors import MappingError
+from ..formats import COOMatrix
+
+
+@dataclass
+class SubMatrix:
+    """One tile: local COO plus its global row/column footprint.
+
+    ``global_cols[local_col]`` maps tile-local column indices back to matrix
+    columns; rows map back as ``row_range[0] + local_row``.
+    """
+
+    row_range: Tuple[int, int]
+    global_cols: np.ndarray
+    rows: np.ndarray   # tile-local
+    cols: np.ndarray   # tile-local
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def x_length(self) -> int:
+        """Input-segment length the host must replicate into the bank."""
+        return int(self.global_cols.size)
+
+    @property
+    def y_length(self) -> int:
+        """Output-tile length (rows of the row block)."""
+        return self.row_range[1] - self.row_range[0]
+
+    @property
+    def touched_rows(self) -> int:
+        """Rows that actually receive a partial — the host merges only
+        these (Fig. 6: "accumulates only non-zero outputs")."""
+        return int(np.unique(self.rows).size)
+
+    def x_segment(self, x: np.ndarray) -> np.ndarray:
+        """Gather this tile's input values from the global vector."""
+        return np.asarray(x, dtype=np.float64)[self.global_cols]
+
+    def validate(self) -> "SubMatrix":
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= self.y_length:
+                raise MappingError("tile-local row out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.x_length:
+                raise MappingError("tile-local col out of range")
+        return self
+
+
+@dataclass
+class PartitionPlan:
+    """All tiles of a matrix plus the parameters that produced them."""
+
+    shape: Tuple[int, int]
+    tiles: List[SubMatrix]
+    tile_rows: int
+    tile_cols: int
+    compressed: bool
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(tile.nnz for tile in self.tiles)
+
+    @property
+    def replicated_input_elements(self) -> int:
+        """Input elements the host stages across all tiles (Fig. 6 metric).
+
+        Compression shrinks exactly this: without it, every tile would
+        replicate its full column range.
+        """
+        return sum(tile.x_length for tile in self.tiles)
+
+    @property
+    def output_partial_elements(self) -> int:
+        """Output elements the host accumulates across all tiles."""
+        return sum(tile.y_length for tile in self.tiles)
+
+
+def tile_capacity(config: SystemConfig, precision: str) -> int:
+    """Max rows/cols of a tile: one memory row of elements (§V)."""
+    return config.submatrix_limit_bytes // element_size(precision)
+
+
+def partition(matrix: COOMatrix, config: SystemConfig,
+              precision: str = "fp64", compress: bool = True,
+              tile_rows: int = None, tile_cols: int = None) -> PartitionPlan:
+    """Cut *matrix* into 1 KB-bounded tiles (optionally compressed).
+
+    ``compress=False`` reproduces the naive distribution the paper's Fig. 6
+    improves on: column ranges are kept whole, so input replication covers
+    all-zero columns too. The ablation benchmark flips this switch.
+    """
+    capacity = tile_capacity(config, precision)
+    tile_rows = capacity if tile_rows is None else tile_rows
+    tile_cols = capacity if tile_cols is None else tile_cols
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise MappingError("tile dimensions must be positive")
+    if tile_rows > capacity or tile_cols > capacity:
+        raise MappingError(
+            f"tiles of {tile_rows}x{tile_cols} exceed the one-memory-row "
+            f"constraint ({capacity} elements at {precision})")
+
+    nrows, ncols = matrix.shape
+    tiles: List[SubMatrix] = []
+    srt = matrix.sorted_rows()
+    block_starts = np.searchsorted(
+        srt.rows, np.arange(0, nrows, tile_rows), side="left")
+    block_bounds = np.append(block_starts, srt.nnz)
+
+    for block_index in range(len(block_starts)):
+        lo_el = block_bounds[block_index]
+        hi_el = block_bounds[block_index + 1]
+        row_lo = block_index * tile_rows
+        row_hi = min(row_lo + tile_rows, nrows)
+        if lo_el == hi_el:
+            continue  # empty row block: no tiles at all
+        rows = srt.rows[lo_el:hi_el] - row_lo
+        cols = srt.cols[lo_el:hi_el]
+        vals = srt.vals[lo_el:hi_el]
+        tiles.extend(_cut_columns(rows, cols, vals, (row_lo, row_hi),
+                                  ncols, tile_cols, compress))
+    plan = PartitionPlan(shape=matrix.shape, tiles=tiles,
+                         tile_rows=tile_rows, tile_cols=tile_cols,
+                         compressed=compress)
+    _check_plan(plan, matrix)
+    return plan
+
+
+def _cut_columns(rows, cols, vals, row_range, ncols, tile_cols,
+                 compress) -> List[SubMatrix]:
+    """Column-cut one row block, compacting all-zero columns first."""
+    tiles = []
+    if compress:
+        # Fig. 6: remove all-zero columns, then cut the *compacted* axis.
+        kept, local = np.unique(cols, return_inverse=True)
+        num_segments = math.ceil(kept.size / tile_cols)
+        for seg in range(num_segments):
+            seg_lo = seg * tile_cols
+            seg_hi = min(seg_lo + tile_cols, kept.size)
+            mask = (local >= seg_lo) & (local < seg_hi)
+            if not mask.any():
+                continue
+            tiles.append(SubMatrix(
+                row_range=row_range,
+                global_cols=kept[seg_lo:seg_hi],
+                rows=rows[mask],
+                cols=local[mask] - seg_lo,
+                vals=vals[mask]).validate())
+    else:
+        num_segments = math.ceil(ncols / tile_cols)
+        for seg in range(num_segments):
+            seg_lo = seg * tile_cols
+            seg_hi = min(seg_lo + tile_cols, ncols)
+            mask = (cols >= seg_lo) & (cols < seg_hi)
+            if not mask.any():
+                continue
+            tiles.append(SubMatrix(
+                row_range=row_range,
+                global_cols=np.arange(seg_lo, seg_hi),
+                rows=rows[mask],
+                cols=cols[mask] - seg_lo,
+                vals=vals[mask]).validate())
+    return tiles
+
+
+def _check_plan(plan: PartitionPlan, matrix: COOMatrix) -> None:
+    if plan.total_nnz != matrix.nnz:
+        raise MappingError(
+            f"partition lost elements: {plan.total_nnz} != {matrix.nnz}")
+
+
+def reassemble(plan: PartitionPlan) -> COOMatrix:
+    """Rebuild the global matrix from a plan (round-trip validation)."""
+    rows = []
+    cols = []
+    vals = []
+    for tile in plan.tiles:
+        rows.append(tile.rows + tile.row_range[0])
+        cols.append(tile.global_cols[tile.cols])
+        vals.append(tile.vals)
+    if not rows:
+        return COOMatrix.empty(plan.shape)
+    return COOMatrix(plan.shape, np.concatenate(rows), np.concatenate(cols),
+                     np.concatenate(vals))

@@ -1,0 +1,123 @@
+"""The pSyncPIM host runtime: the library's main entry point.
+
+:class:`PSyncPIM` bundles configuration, kernel execution and performance
+modelling behind one object, the way a host-side runtime library would wrap
+the device:
+
+>>> from repro import PSyncPIM
+>>> pim = PSyncPIM()
+>>> result = pim.spmv(matrix, x)           # executes the full plan
+>>> report = pim.time_spmv(result)         # prices it on the DRAM model
+
+Functional-fidelity execution (instruction-accurate processing units) is a
+constructor switch; the default fast tier runs the identical data plan with
+vectorised numpy (see DESIGN.md §5 on the two tiers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SystemConfig, default_system
+from ..errors import ExecutionError
+from ..formats import COOMatrix
+from .spmv import SpmvResult, run_spmv
+from .sptrsv import ILDUFactors, SpTrsvResult, ildu, run_sptrsv
+from .timing import PerfReport, time_dense_kernel, time_spmv, time_sptrsv
+from .trace import TraceParams
+
+
+class PSyncPIM:
+    """A configured pSyncPIM system: execution plus performance modelling."""
+
+    def __init__(self, num_cubes: int = 1, precision: str = "fp64",
+                 fidelity: str = "fast",
+                 engine_banks: Optional[int] = None,
+                 trace_params: Optional[TraceParams] = None,
+                 config: Optional[SystemConfig] = None) -> None:
+        if fidelity not in ("fast", "functional"):
+            raise ExecutionError(f"unknown fidelity {fidelity!r}")
+        self.config = config or default_system(num_cubes)
+        self.precision = precision
+        self.fidelity = fidelity
+        self.engine_banks = engine_banks
+        self.trace_params = trace_params or TraceParams()
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def spmv(self, matrix: COOMatrix, x: np.ndarray,
+             multiply: str = "mul", accumulate: str = "add",
+             y0: Optional[np.ndarray] = None,
+             compress: bool = True, policy: str = "paper",
+             precision: Optional[str] = None,
+             matrix_format: str = "coo") -> SpmvResult:
+        """Sparse matrix-vector multiply (semiring-generalised)."""
+        return run_spmv(matrix, x, self.config,
+                        precision=precision or self.precision,
+                        compress=compress, policy=policy,
+                        fidelity=self.fidelity, multiply=multiply,
+                        accumulate=accumulate, y0=y0,
+                        engine_banks=self.engine_banks,
+                        matrix_format=matrix_format)
+
+    def sptrsv(self, triangular: COOMatrix, b: np.ndarray,
+               lower: bool = True, reorder: bool = True,
+               precision: Optional[str] = None) -> SpTrsvResult:
+        """Unit triangular solve via the recursive block algorithm."""
+        return run_sptrsv(triangular, b, self.config, lower=lower,
+                          precision=precision or self.precision,
+                          fidelity=self.fidelity, reorder=reorder,
+                          engine_banks=self.engine_banks)
+
+    def factorize(self, matrix: COOMatrix) -> ILDUFactors:
+        """Host-side ILDU preprocessing (§VI-D)."""
+        return ildu(matrix)
+
+    def precondition(self, factors: ILDUFactors,
+                     r: np.ndarray) -> np.ndarray:
+        """Apply M^-1 = U^-1 D^-1 L^-1 with PIM triangular solves."""
+        y = self.sptrsv(factors.lower, r, lower=True).x
+        y = y * factors.diag_inv
+        return self.sptrsv(factors.upper, y, lower=False).x
+
+    # ------------------------------------------------------------------
+    # performance modelling
+    # ------------------------------------------------------------------
+    def time_spmv(self, result: SpmvResult, mode: str = "ab",
+                  with_energy: bool = False) -> PerfReport:
+        """Price an executed SpMV in all-bank or per-bank mode."""
+        return time_spmv(result.execution, self.config, mode=mode,
+                         params=self.trace_params, with_energy=with_energy)
+
+    def time_sptrsv(self, result: SpTrsvResult,
+                    with_energy: bool = False) -> PerfReport:
+        """Price an executed triangular solve."""
+        return time_sptrsv(result.execution, self.config,
+                           params=self.trace_params,
+                           with_energy=with_energy)
+
+    def time_vector_kernel(self, elements: int, reads_per_group: int = 2,
+                           writes_per_group: int = 1, mode: str = "ab",
+                           ops_per_element: int = 1,
+                           with_energy: bool = False) -> PerfReport:
+        """Price a dense streaming BLAS-1 kernel of *elements* length."""
+        return time_dense_kernel(elements, reads_per_group,
+                                 writes_per_group, self.config,
+                                 precision=self.precision, mode=mode,
+                                 ops_per_element=ops_per_element,
+                                 with_energy=with_energy,
+                                 params=self.trace_params)
+
+    # ------------------------------------------------------------------
+    def backend(self, **kwargs):
+        """A :class:`repro.apps.PIMBackend` bound to this configuration."""
+        from ..apps import PIMBackend
+        return PIMBackend(config=self.config, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PSyncPIM(cubes={self.config.num_cubes}, "
+                f"units={self.config.total_units}, "
+                f"precision={self.precision!r}, fidelity={self.fidelity!r})")

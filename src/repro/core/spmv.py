@@ -1,0 +1,254 @@
+"""End-to-end SpMV execution: partition -> distribute -> rounds -> merge.
+
+Two fidelities share the same plan:
+
+* ``functional`` — every round runs on the instruction-accurate all-bank
+  engine (:mod:`repro.pim`); used by the test-suite and examples to prove
+  the kernel/ISA path computes exactly A @ x.
+* ``fast`` — every round is computed with vectorised numpy over the same
+  tiles, exercising the identical plan (replication, local indices, host
+  accumulation) at paper scale without interpreting instructions.
+
+Both produce an :class:`SpmvExecution` record: the quantities the timing
+and energy models consume (per-round lock-step batch counts, per-bank
+loads, external traffic, utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SystemConfig, element_size
+from ..errors import ExecutionError
+from ..formats import COOMatrix
+from ..kernels import Tile, run_tile_round
+from ..pim import AllBankEngine
+from .distribution import (Assignment, accumulation_traffic_bytes,
+                           distribute, replication_traffic_bytes)
+from .partition import PartitionPlan, partition
+
+
+@dataclass
+class SpmvExecution:
+    """Everything the performance model needs to cost one SpMV."""
+
+    precision: str
+    num_banks: int
+    #: Lock-step element count per round (max tile nnz in the round).
+    round_batches: List[int]
+    #: Per-bank total elements over all rounds.
+    per_bank_elements: np.ndarray
+    #: Host -> bank staged input bytes (replication, Fig. 6 traffic).
+    input_bytes: int
+    #: Bank -> host partial-output bytes (remote accumulation).
+    output_bytes: int
+    #: Matrix stream bytes resident in banks (row/col/value triples).
+    matrix_bytes: int
+    banks_used: int
+    imbalance: float
+    policy: str
+    compressed: bool
+    #: On-bank matrix representation: "coo" (default), "csr" or "bitmap"
+    #: (paper §IV-C / §VIII).
+    matrix_format: str = "coo"
+    #: Average bytes streamed from the bank per matrix element — set by
+    #: the format (COO: 2x16-bit indices + value; CSR: one index + value
+    #: + amortised row pointers; bitmap: value + presence bits).
+    stream_bytes_per_element: float = 12.0
+    #: Per-round x/y tile lengths of the *largest* tile (trace synthesis).
+    round_x_lengths: List[int] = field(default_factory=list)
+    round_y_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_batches)
+
+    @property
+    def lockstep_elements(self) -> int:
+        return int(sum(self.round_batches))
+
+    @property
+    def total_elements(self) -> int:
+        return int(self.per_bank_elements.sum())
+
+
+@dataclass
+class SpmvResult:
+    """SpMV output plus its execution record."""
+
+    y: np.ndarray
+    execution: SpmvExecution
+    plan: PartitionPlan
+    assignment: Assignment
+
+
+#: COO element footprint: two 16-bit tile-local indices plus the value.
+#: Tile dimensions are bounded by one memory row (§V), so local indices
+#: always fit 16 bits; the -1 padding sentinel is 0xFFFF.
+def element_bytes(precision: str) -> int:
+    return 4 + element_size(precision)
+
+
+def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
+             precision: str = "fp64", compress: bool = True,
+             policy: str = "paper", fidelity: str = "fast",
+             accumulate: str = "add", multiply: str = "mul",
+             y0: Optional[np.ndarray] = None,
+             engine_banks: Optional[int] = None,
+             matrix_format: str = "coo") -> SpmvResult:
+    """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
+
+    ``engine_banks`` caps the functional engine size (the plan itself is
+    always laid out over the full ``config.total_units``); it exists because
+    interpreting 256 units in Python is slow while the plan's semantics are
+    bank-count independent per round.
+
+    ``matrix_format`` selects the on-bank representation for the timing
+    model — functional results are format-independent. ``"coo"`` is the
+    paper's HPC default; ``"csr"`` models the §IV-C variant (four index
+    registers + adder); ``"bitmap"`` the §VIII neural-network format.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.shape[1],):
+        raise ExecutionError("SpMV vector length mismatch")
+    plan = partition(matrix, config, precision=precision, compress=compress)
+    num_banks = config.total_units
+    assignment = distribute(plan, num_banks, policy=policy)
+
+    if fidelity == "fast":
+        y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)
+    elif fidelity == "functional":
+        y = _functional_rounds(matrix, x, assignment, precision,
+                               accumulate, multiply, y0, engine_banks)
+    else:
+        raise ExecutionError(f"unknown fidelity {fidelity!r}")
+
+    value_bytes = element_size(precision)
+    stream_bpe = _stream_bytes_per_element(matrix_format, plan,
+                                           value_bytes, matrix)
+    execution = SpmvExecution(
+        precision=precision,
+        num_banks=num_banks,
+        round_batches=[assignment.round_batch_elements(r)
+                       for r in range(assignment.num_rounds)],
+        per_bank_elements=assignment.per_bank_elements(),
+        input_bytes=replication_traffic_bytes(assignment, value_bytes),
+        output_bytes=accumulation_traffic_bytes(assignment, value_bytes),
+        matrix_bytes=int(round(plan.total_nnz * stream_bpe)),
+        banks_used=assignment.banks_used,
+        imbalance=assignment.imbalance,
+        policy=policy,
+        compressed=compress,
+        matrix_format=matrix_format,
+        stream_bytes_per_element=stream_bpe,
+        round_x_lengths=[
+            max((t.x_length for t in round_tiles if t is not None),
+                default=0) for round_tiles in assignment.rounds],
+        round_y_lengths=[
+            max((t.touched_rows for t in round_tiles if t is not None),
+                default=0) for round_tiles in assignment.rounds],
+    )
+    return SpmvResult(y=y, execution=execution, plan=plan,
+                      assignment=assignment)
+
+
+def _stream_bytes_per_element(matrix_format: str, plan: PartitionPlan,
+                              value_bytes: int, matrix) -> float:
+    """Average on-bank bytes per streamed matrix element by format."""
+    nnz = max(plan.total_nnz, 1)
+    if matrix_format == "coo":
+        return 4.0 + value_bytes          # two 16-bit tile-local indices
+    if matrix_format == "csr":
+        # 16-bit column index per element + one 16-bit row pointer per
+        # tile row (the four-register variant of §IV-C)
+        pointer_bytes = 2.0 * sum(tile.y_length for tile in plan.tiles)
+        return 2.0 + value_bytes + pointer_bytes / nnz
+    if matrix_format == "bitmap":
+        # one presence bit per tile position + the packed values
+        area_bits = float(sum(tile.y_length * tile.x_length
+                              for tile in plan.tiles))
+        return value_bytes + area_bits / 8.0 / nnz
+    raise ExecutionError(f"unknown matrix format {matrix_format!r}")
+
+
+# ----------------------------------------------------------------------
+# fast tier: vectorised per-tile numpy over the identical plan
+# ----------------------------------------------------------------------
+_ACCUM_UFUNC = {"add": np.add, "sub": np.subtract, "min": np.minimum,
+                "max": np.maximum, "lor": np.logical_or}
+_MULT_FUNC = {"mul": np.multiply, "add": np.add,
+              "land": lambda a, b: np.logical_and(a, b).astype(float),
+              "second": lambda a, b: b}
+
+
+def _fast_rounds(matrix, x, assignment: Assignment, accumulate, multiply,
+                 y0) -> np.ndarray:
+    try:
+        acc = _ACCUM_UFUNC[accumulate]
+        mul = _MULT_FUNC[multiply]
+    except KeyError:
+        raise ExecutionError(
+            f"unsupported semiring ({multiply}, {accumulate})") from None
+    y = (np.zeros(matrix.shape[0]) if y0 is None
+         else np.asarray(y0, dtype=np.float64).copy())
+    for round_tiles in assignment.rounds:
+        for tile in round_tiles:
+            if tile is None or tile.nnz == 0:
+                continue
+            # bank-local compute: products against the staged x segment
+            seg = tile.x_segment(x)
+            partial = mul(tile.vals, seg[tile.cols]).astype(float)
+            # host-side remote accumulation of the output partial
+            acc.at(y, tile.rows + tile.row_range[0], partial)
+    if accumulate == "lor":
+        y = y.astype(bool).astype(float)
+    return y
+
+
+# ----------------------------------------------------------------------
+# functional tier: the instruction-accurate engine, round by round
+# ----------------------------------------------------------------------
+#: In-bank output tiles are seeded with the accumulate identity; the host
+#: then merges only the rows a tile touched ("accumulates only non-zero
+#: outputs", Fig. 6) with the matching merge operation. Note ``sub`` tiles
+#: hold -(Mx) partials, so the host merge for them is addition.
+_MERGE = {"add": (0.0, np.add), "sub": (0.0, np.add),
+          "min": (float("inf"), np.minimum),
+          "max": (float("-inf"), np.maximum),
+          "lor": (0.0, np.maximum)}
+
+
+def _functional_rounds(matrix, x, assignment: Assignment, precision,
+                       accumulate, multiply, y0,
+                       engine_banks: Optional[int]) -> np.ndarray:
+    y = (np.zeros(matrix.shape[0]) if y0 is None
+         else np.asarray(y0, dtype=np.float64).copy())
+    try:
+        y_init, merge = _MERGE[accumulate]
+    except KeyError:
+        raise ExecutionError(
+            f"unsupported accumulate {accumulate!r}") from None
+    for round_tiles in assignment.rounds:
+        active = [(b, tile) for b, tile in enumerate(round_tiles)
+                  if tile is not None and tile.nnz]
+        if not active:
+            continue
+        width = engine_banks or len(active)
+        # Run the round in engine-sized waves; semantics are identical
+        # because banks never interact within a round.
+        waves = [active[i:i + width] for i in range(0, len(active), width)]
+        for wave in waves:
+            engine = AllBankEngine(num_banks=len(wave), precision=precision)
+            tiles = [Tile(t.rows, t.cols, t.vals, t.x_segment(x),
+                          t.y_length) for _, t in wave]
+            result = run_tile_round(engine, tiles, accumulate=accumulate,
+                                    multiply=multiply, y_init=y_init)
+            for (bank, tile), partial in zip(wave, result.y_per_bank):
+                touched = np.unique(tile.rows)
+                merge.at(y, touched + tile.row_range[0], partial[touched])
+    if accumulate == "lor":
+        y = y.astype(bool).astype(float)
+    return y

@@ -1,0 +1,435 @@
+"""SpTRSV on pSyncPIM: ILDU, recursive blocks, levels (paper §VI).
+
+The pipeline mirrors the paper exactly:
+
+1. **Host preprocessing** — :func:`ildu` factors A ≈ L·D·U with *unit*
+   triangular L and U and stores D as its inverse, so no division ever runs
+   on the PIM units (§VI-D). :func:`level_schedule` computes dependency
+   levels; :func:`reorder_by_levels` optionally permutes rows so each level
+   is contiguous and maximally wide.
+2. **Recursive block algorithm** (§VI-A, Eqs. 1-3) — the triangular matrix
+   splits into L0 / M / L1 until diagonal blocks fit the memory-row bound;
+   the flattened plan alternates leaf solves with SpMV updates.
+3. **Leaf execution** (§VI-C, Algorithm 3) — within a leaf, columns are
+   batched into independent levels. Per level the host reads the solved
+   values (SB), broadcasts them (AB), and the banks run the scalar-multiply
+   kernel ``b[r] -= x[c] * v`` — the same tile kernel as SpMV with a
+   ``sub`` accumulate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ExecutionError, MappingError, SolverError
+from ..formats import COOMatrix, CSRMatrix
+from ..kernels import Tile, run_tile_round
+from ..pim import AllBankEngine
+from .partition import tile_capacity
+
+# ----------------------------------------------------------------------
+# host preprocessing: ILDU factorisation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ILDUFactors:
+    """A ≈ L D U with unit triangular factors and D stored inverted.
+
+    ``lower``/``upper`` omit their unit diagonals *logically* — they store
+    it explicitly (value 1.0) for convenience, but the memory mapping drops
+    it (the paper stores L* = L - I, §VI-B).
+    """
+
+    lower: COOMatrix
+    diag_inv: np.ndarray
+    upper: COOMatrix
+
+    @property
+    def n(self) -> int:
+        return self.lower.shape[0]
+
+    def apply(self, b: np.ndarray) -> np.ndarray:
+        """Reference preconditioner application x = U^-1 D^-1 L^-1 b."""
+        y = solve_unit_triangular_reference(self.lower, b, lower=True)
+        y = y * self.diag_inv
+        return solve_unit_triangular_reference(self.upper, y, lower=False)
+
+
+def ildu(matrix: COOMatrix) -> ILDUFactors:
+    """Incomplete LDU decomposition on the pattern of *matrix* (ILU(0)).
+
+    Standard IKJ ILU(0) restricted to A's sparsity pattern, then the U
+    factor's diagonal is split off as D (stored as 1/D) and both triangular
+    factors are normalised to unit diagonals.
+    """
+    if not matrix.is_square:
+        raise SolverError("ILDU needs a square matrix")
+    n = matrix.shape[0]
+    csr = CSRMatrix.from_coo(matrix)
+    if np.any(matrix.diagonal() == 0.0):
+        raise SolverError("ILDU needs a full diagonal")
+
+    # Working rows as dicts (pattern-restricted updates).
+    rows = []
+    for i in range(n):
+        idx, val = csr.row(i)
+        rows.append(dict(zip(idx.tolist(), val.tolist())))
+
+    diag = np.zeros(n)
+    for i in range(n):
+        row = rows[i]
+        for k in sorted(c for c in row if c < i):
+            lik = row[k] / diag[k]
+            row[k] = lik
+            for j, ukj in rows[k].items():
+                if j > k and j in row:
+                    row[j] -= lik * ukj
+        if i not in row or row[i] == 0.0:
+            raise SolverError(f"zero pivot at row {i} during ILDU")
+        diag[i] = row[i]
+
+    l_rows, l_cols, l_vals = [], [], []
+    u_rows, u_cols, u_vals = [], [], []
+    for i in range(n):
+        for j, value in rows[i].items():
+            if j < i:
+                l_rows.append(i), l_cols.append(j), l_vals.append(value)
+            elif j > i:
+                u_rows.append(i), u_cols.append(j)
+                u_vals.append(value / diag[i])  # unit-normalise U
+    eye = np.arange(n)
+    lower = COOMatrix((n, n), np.concatenate([np.asarray(l_rows,
+                                                         dtype=np.int64),
+                                              eye]),
+                      np.concatenate([np.asarray(l_cols, dtype=np.int64),
+                                      eye]),
+                      np.concatenate([np.asarray(l_vals), np.ones(n)]),
+                      check=False)
+    upper = COOMatrix((n, n), np.concatenate([np.asarray(u_rows,
+                                                         dtype=np.int64),
+                                              eye]),
+                      np.concatenate([np.asarray(u_cols, dtype=np.int64),
+                                      eye]),
+                      np.concatenate([np.asarray(u_vals), np.ones(n)]),
+                      check=False)
+    return ILDUFactors(lower=lower, diag_inv=1.0 / diag, upper=upper)
+
+
+def solve_unit_triangular_reference(tri: COOMatrix, b: np.ndarray,
+                                    lower: bool = True) -> np.ndarray:
+    """Golden sequential solve (Algorithm 1) used for validation."""
+    n = tri.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    x = b.copy()
+    csr = CSRMatrix.from_coo(tri)
+    order = range(n) if lower else range(n - 1, -1, -1)
+    for i in order:
+        idx, val = csr.row(i)
+        mask = (idx < i) if lower else (idx > i)
+        x[i] = x[i] - float(np.dot(val[mask], x[idx[mask]]))
+    return x
+
+
+# ----------------------------------------------------------------------
+# level scheduling and row reordering
+# ----------------------------------------------------------------------
+def _flip(tri: COOMatrix) -> COOMatrix:
+    """Map index i -> n-1-i on both axes (upper <-> lower conversion)."""
+    n = tri.shape[0]
+    return COOMatrix(tri.shape, n - 1 - tri.rows, n - 1 - tri.cols,
+                     tri.vals.copy(), check=False)
+
+
+def level_schedule(tri: COOMatrix, lower: bool = True) -> List[np.ndarray]:
+    """Group rows into dependency levels (host row-reordering support).
+
+    Row i's level is 1 + max level of the rows it depends on; rows in one
+    level are mutually independent and can be solved in a single all-bank
+    batch. Upper solves are scheduled on the flipped (lower) matrix and
+    mapped back.
+    """
+    n = tri.shape[0]
+    if not lower:
+        flipped_levels = level_schedule(_flip(tri), lower=True)
+        return [np.sort(n - 1 - lvl) for lvl in flipped_levels]
+    depth = np.zeros(n, dtype=np.int64)
+    csr = CSRMatrix.from_coo(tri)
+    for i in range(n):
+        idx, _ = csr.row(i)
+        deps = idx[idx < i]
+        if deps.size:
+            depth[i] = depth[deps].max() + 1
+    levels = []
+    for d in range(int(depth.max()) + 1 if n else 0):
+        levels.append(np.nonzero(depth == d)[0])
+    return levels
+
+
+def reorder_by_levels(tri: COOMatrix,
+                      lower: bool = True) -> Tuple[np.ndarray, COOMatrix]:
+    """Permute rows/cols so dependency levels are contiguous (§VI-D).
+
+    Returns ``(perm, reordered)`` where ``reordered = P A P^T`` with
+    ``perm[new] = old``. Sorting by level depth preserves triangularity
+    because an edge always points from a shallower to a deeper row.
+    """
+    if not lower:
+        n = tri.shape[0]
+        perm_flipped, reordered_flipped = reorder_by_levels(_flip(tri),
+                                                            lower=True)
+        perm = (n - 1 - perm_flipped)[::-1].copy()
+        reordered = _flip(reordered_flipped)
+        if not reordered.is_upper_triangular():
+            raise MappingError("level reordering broke upper-triangularity")
+        return perm, reordered
+    levels = level_schedule(tri, lower=True)
+    perm = (np.concatenate(levels) if levels
+            else np.zeros(0, dtype=np.int64))
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    reordered = COOMatrix(tri.shape, inverse[tri.rows], inverse[tri.cols],
+                          tri.vals.copy(), check=False)
+    if not reordered.is_lower_triangular():
+        raise MappingError("level reordering broke lower-triangularity")
+    return perm, reordered
+
+
+# ----------------------------------------------------------------------
+# recursive block plan (Eqs. 1-3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveStep:
+    """One step of the flattened recursive block plan."""
+
+    kind: str                       # "leaf" or "update"
+    row_range: Tuple[int, int]
+    col_range: Tuple[int, int]      # == row_range for leaves
+
+
+def recursive_plan(n: int, leaf_size: int) -> List[SolveStep]:
+    """Flatten the L0 / M / L1 recursion into an ordered step list."""
+    if leaf_size <= 0:
+        raise MappingError("leaf size must be positive")
+    steps: List[SolveStep] = []
+
+    def recurse(lo: int, hi: int) -> None:
+        if hi - lo <= leaf_size:
+            steps.append(SolveStep("leaf", (lo, hi), (lo, hi)))
+            return
+        mid = lo + (hi - lo) // 2
+        recurse(lo, mid)
+        steps.append(SolveStep("update", (mid, hi), (lo, mid)))
+        recurse(mid, hi)
+
+    if n > 0:
+        recurse(0, n)
+    return steps
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@dataclass
+class SpTrsvExecution:
+    """Cost-model inputs for one triangular solve."""
+
+    precision: str
+    num_banks: int
+    n: int
+    leaf_size: int
+    #: Per-level lock-step element counts (max per bank), leaf phases only.
+    level_batches: List[int] = field(default_factory=list)
+    #: Per-level total elements (for bandwidth/energy accounting).
+    level_elements: List[int] = field(default_factory=list)
+    #: Per-level number of columns solved (broadcast payload sizes).
+    level_widths: List[int] = field(default_factory=list)
+    #: Element totals of the SpMV update steps between leaves.
+    update_elements: List[int] = field(default_factory=list)
+    #: Rounds needed by each update step's SpMV.
+    update_batches: List[int] = field(default_factory=list)
+    #: Full execution records of the update SpMVs (trace synthesis).
+    update_execs: List[object] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_batches)
+
+    @property
+    def total_elements(self) -> int:
+        return int(sum(self.level_elements) + sum(self.update_elements))
+
+
+@dataclass
+class SpTrsvResult:
+    x: np.ndarray
+    execution: SpTrsvExecution
+
+
+def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
+               lower: bool = True, precision: str = "fp64",
+               fidelity: str = "fast", reorder: bool = True,
+               leaf_size: Optional[int] = None,
+               engine_banks: Optional[int] = None) -> SpTrsvResult:
+    """Solve ``T x = b`` for unit triangular T on the pSyncPIM model.
+
+    Upper solves are run as lower solves on the reversed ordering
+    (rows/cols mapped through ``n-1-i``), which is how the hardware reuses
+    one kernel for L and U (Table III lists both under SpTRSV).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = tri.shape[0]
+    if b.shape != (n,):
+        raise ExecutionError("right-hand side length mismatch")
+    if not tri.is_square:
+        raise ExecutionError("triangular solve needs a square matrix")
+    if lower and not tri.is_lower_triangular():
+        raise ExecutionError("matrix is not lower triangular")
+    if not lower and not tri.is_upper_triangular():
+        raise ExecutionError("matrix is not upper triangular")
+
+    if not lower:
+        flipped = COOMatrix(tri.shape, n - 1 - tri.rows, n - 1 - tri.cols,
+                            tri.vals.copy(), check=False)
+        result = run_sptrsv(flipped, b[::-1].copy(), config, lower=True,
+                            precision=precision, fidelity=fidelity,
+                            reorder=reorder, leaf_size=leaf_size,
+                            engine_banks=engine_banks)
+        result.x = result.x[::-1].copy()
+        return result
+
+    perm = None
+    work = tri
+    rhs = b.copy()
+    if reorder:
+        perm, work = reorder_by_levels(tri, lower=True)
+        rhs = b[perm].copy()
+
+    leaf = leaf_size or tile_capacity(config, precision)
+    plan = recursive_plan(n, leaf)
+    execution = SpTrsvExecution(precision=precision,
+                                num_banks=config.total_units,
+                                n=n, leaf_size=leaf)
+    strict = work.strictly_lower()
+    csr_cols = CSRMatrix.from_coo(strict.transpose())  # column access
+
+    for step in plan:
+        if step.kind == "update":
+            _apply_update(strict, rhs, step, config, precision, fidelity,
+                          engine_banks, execution)
+        else:
+            _solve_leaf(csr_cols, rhs, step, config, precision, fidelity,
+                        engine_banks, execution)
+
+    x = rhs
+    if perm is not None:
+        unpermuted = np.empty_like(x)
+        unpermuted[perm] = x
+        x = unpermuted
+    return SpTrsvResult(x=x, execution=execution)
+
+
+def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
+                  config, precision, fidelity, engine_banks,
+                  execution: SpTrsvExecution) -> None:
+    """b1 -= M @ x0 (Eq. 3's SpMV between the two recursive solves)."""
+    from .spmv import run_spmv  # local import: spmv <-> sptrsv layering
+    r0, r1 = step.row_range
+    c0, c1 = step.col_range
+    block = strict.submatrix(step.row_range, step.col_range)
+    if block.nnz == 0:
+        return
+    result = run_spmv(block, rhs[c0:c1], config, precision=precision,
+                      fidelity=fidelity, accumulate="sub",
+                      y0=rhs[r0:r1], engine_banks=engine_banks)
+    rhs[r0:r1] = result.y
+    execution.update_elements.append(block.nnz)
+    execution.update_batches.append(result.execution.num_rounds)
+    execution.update_execs.append(result.execution)
+
+
+def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
+                config, precision, fidelity, engine_banks,
+                execution: SpTrsvExecution) -> None:
+    """Algorithm 3 with level batching inside one diagonal block."""
+    lo, hi = step.row_range
+    width = hi - lo
+    # Level schedule restricted to the block: depth over in-block deps.
+    depth = np.zeros(width, dtype=np.int64)
+    block_cols: List[Tuple[np.ndarray, np.ndarray]] = []
+    for local_col in range(width):
+        idx, val = csr_cols.row(lo + local_col)
+        mask = (idx >= lo) & (idx < hi)
+        block_cols.append((idx[mask] - lo, val[mask]))
+    for local_col in range(width):
+        rows_below, _ = block_cols[local_col]
+        if rows_below.size:
+            np.maximum.at(depth, rows_below, depth[local_col] + 1)
+
+    num_levels = int(depth.max()) + 1 if width else 0
+    num_banks = config.total_units
+    for level in range(num_levels):
+        cols = np.nonzero(depth == level)[0]
+        # The columns of this level are solved: x = b (unit diagonal).
+        scales = rhs[lo + cols]
+        rows_list, cols_list, vals_list = [], [], []
+        for local_index, col in enumerate(cols):
+            rows_below, vals_below = block_cols[col]
+            rows_list.append(rows_below)
+            cols_list.append(np.full(rows_below.size, local_index,
+                                     dtype=np.int64))
+            vals_list.append(vals_below)
+        rows = np.concatenate(rows_list) if rows_list else np.zeros(
+            0, dtype=np.int64)
+        lcols = np.concatenate(cols_list) if cols_list else np.zeros(
+            0, dtype=np.int64)
+        vals = np.concatenate(vals_list) if vals_list else np.zeros(0)
+
+        if rows.size:
+            per_bank = _split_rows(rows, lcols, vals, num_banks)
+            batch = max(chunk[0].size for chunk in per_bank)
+            execution.level_batches.append(int(batch))
+            if fidelity == "fast":
+                # scatter-subtract: a row can receive updates from several
+                # columns of the same level, so duplicates must accumulate
+                np.subtract.at(rhs, lo + rows, vals * scales[lcols])
+            else:
+                _leaf_level_functional(per_bank, scales, rhs, lo, width,
+                                       precision, engine_banks)
+        else:
+            execution.level_batches.append(0)
+        execution.level_elements.append(int(rows.size))
+        execution.level_widths.append(int(cols.size))
+
+
+def _split_rows(rows, cols, vals, num_banks):
+    """Fig. 7: cut the level's elements into row-contiguous bank shares."""
+    order = np.argsort(rows, kind="stable")
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    share = max(1, math.ceil(rows.size / num_banks))
+    chunks = []
+    for b in range(0, rows.size, share):
+        chunks.append((rows[b:b + share], cols[b:b + share],
+                       vals[b:b + share]))
+    return chunks
+
+
+def _leaf_level_functional(per_bank, scales, rhs, lo, width, precision,
+                           engine_banks) -> None:
+    """Run one level on the instruction-accurate engine."""
+    width_banks = min(len(per_bank), engine_banks or len(per_bank))
+    waves = [per_bank[i:i + width_banks]
+             for i in range(0, len(per_bank), width_banks)]
+    for wave in waves:
+        engine = AllBankEngine(num_banks=len(wave), precision=precision)
+        tiles = [Tile(rows, cols, vals, scales, width)
+                 for rows, cols, vals in wave]
+        result = run_tile_round(engine, tiles, accumulate="sub")
+        for (rows, _, _), partial in zip(wave, result.y_per_bank):
+            touched = np.unique(rows)
+            rhs[lo + touched] += partial[touched]

@@ -1,0 +1,135 @@
+"""Pricing synthesised traces under the DRAM timing and energy models.
+
+This is the glue between execution records (what a kernel did), trace
+synthesis (the command stream it implies on one channel) and the
+:mod:`repro.dram` scheduler (how many cycles/joules that stream costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..dram import (Command, CommandType, EnergyReport, MemoryController,
+                    TimingParams)
+from ..errors import ExecutionError
+from .spmv import SpmvExecution
+from .sptrsv import SpTrsvExecution
+from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
+                    spmv_pb_trace, sptrsv_ab_trace)
+
+#: Tags marking host-side (external interface) column traffic.
+HOST_TAGS = frozenset({"stage_x", "merge_y", "read_b", "broadcast"})
+
+
+@dataclass
+class PerfReport:
+    """Cycles, commands and energy of one kernel on one channel."""
+
+    cycles: int
+    seconds: float
+    commands: int
+    row_commands: int
+    column_commands: int
+    counts: Dict[CommandType, int]
+    tag_cycles: Dict[str, int]
+    energy: Optional[EnergyReport] = None
+
+    @property
+    def host_cycles(self) -> int:
+        """Cycles attributed to external staging/merging traffic."""
+        return sum(cycles for tag, cycles in self.tag_cycles.items()
+                   if tag in HOST_TAGS)
+
+    @property
+    def kernel_cycles(self) -> int:
+        return self.cycles - self.host_cycles
+
+
+def price_trace(trace: List[Command], config: SystemConfig,
+                timing: TimingParams = TimingParams(),
+                with_energy: bool = False, alu_operations: int = 0,
+                precision: str = "fp64",
+                enable_refresh: bool = True) -> PerfReport:
+    """Schedule *trace* on one channel and collect cycles and energy."""
+    host_columns = sum(1 for cmd in trace
+                       if cmd.kind.is_column and cmd.tag in HOST_TAGS)
+    controller = MemoryController(timing=timing, num_channels=16,
+                                  enable_refresh=enable_refresh)
+    result = controller.run(trace, with_energy=with_energy,
+                            host_column_traffic=host_columns)
+    if with_energy and result.energy is not None:
+        # The trace covers one representative channel; every channel of
+        # the cube runs the same schedule, so command/background energy
+        # scales by the channel count. ALU work is charged once for the
+        # whole system (it is already a global operation count).
+        channels = 16 * config.num_cubes
+        e = result.energy
+        e.activation_pj *= channels
+        e.read_pj *= channels
+        e.write_pj *= channels
+        e.external_pj *= channels
+        e.refresh_pj *= channels
+        e.background_pj *= channels
+        if alu_operations:
+            from ..dram import EnergyModel
+            EnergyModel(timing=timing).add_alu(e, alu_operations,
+                                               precision)
+    return PerfReport(cycles=result.total_cycles,
+                      seconds=result.seconds(timing),
+                      commands=result.command_total,
+                      row_commands=result.row_commands,
+                      column_commands=result.column_commands,
+                      counts=result.counts,
+                      tag_cycles=result.tag_cycles,
+                      energy=result.energy)
+
+
+def time_spmv(execution: SpmvExecution, config: SystemConfig,
+              mode: str = "ab", params: TraceParams = TraceParams(),
+              with_energy: bool = False) -> PerfReport:
+    """Price one SpMV in all-bank (``"ab"``) or per-bank (``"pb"``) mode."""
+    if mode == "ab":
+        trace = spmv_ab_trace(execution, config, params)
+    elif mode == "pb":
+        trace = spmv_pb_trace(execution, config, params)
+    else:
+        raise ExecutionError(f"unknown PIM mode {mode!r}")
+    # one multiply + one accumulate per element, on every bank it touches
+    alu_ops = 2 * execution.total_elements
+    return price_trace(trace, config, with_energy=with_energy,
+                       alu_operations=alu_ops,
+                       precision=execution.precision)
+
+
+def time_sptrsv(execution: SpTrsvExecution, config: SystemConfig,
+                params: TraceParams = TraceParams(),
+                with_energy: bool = False) -> PerfReport:
+    """Price one triangular solve (leaf levels + recursive updates)."""
+    trace = sptrsv_ab_trace(execution, config, params)
+    alu_ops = 2 * execution.total_elements
+    return price_trace(trace, config, with_energy=with_energy,
+                       alu_operations=alu_ops,
+                       precision=execution.precision)
+
+
+def time_dense_kernel(elements: int, reads_per_group: int,
+                      writes_per_group: int, config: SystemConfig,
+                      precision: str = "fp64", mode: str = "ab",
+                      ops_per_element: int = 1,
+                      with_energy: bool = False,
+                      params: TraceParams = TraceParams()) -> PerfReport:
+    """Price a dense streaming kernel over *elements* total elements.
+
+    The vector is spread over all banks; the representative channel streams
+    ``elements / (16 * cubes)`` per bank-group in AB mode, or drives each
+    of its 16 banks separately in PB mode.
+    """
+    per_bank = -(-elements // config.total_units)
+    trace = dense_stream_trace(per_bank, reads_per_group, writes_per_group,
+                               precision, all_bank=(mode == "ab"),
+                               params=params)
+    return price_trace(trace, config, with_energy=with_energy,
+                       alu_operations=ops_per_element * elements,
+                       precision=precision)

@@ -1,0 +1,367 @@
+"""Command-trace synthesis: execution records -> DRAM command streams.
+
+The functional tier establishes *what* a kernel does; this module expands
+its execution record into the memory-command stream one *representative
+pseudo-channel* sees, which the :mod:`repro.dram` scheduler then prices
+under full JEDEC timing. One channel suffices because pSyncPIM drives all
+channels with symmetric broadcast streams — total time is the max over
+channels and the workload is laid out channel-symmetrically; host staging
+traffic is divided by the channel count for the same reason.
+
+Layout conventions (documented, not load-bearing for functional results):
+matrix streams occupy rows from 0 upward, the staged input segment lives in
+one reserved row, the output tile in another, and kernel programs in a
+third — matching §V's rule that vector tiles may not span memory rows.
+
+The locality parameters of :class:`TraceParams` encode how many 32 B column
+accesses a batch of gathers/scatters costs: tiles are stored column-sorted
+(the Fig. 7 order), so consecutive gathers hit neighbouring words of the
+open input row, while scatter read-modify-writes cluster by output window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..config import SystemConfig, element_size
+from ..dram import Command, CommandType
+from ..errors import MappingError
+from .spmv import SpmvExecution, element_bytes
+from .sptrsv import SpTrsvExecution
+
+#: Reserved rows of the per-bank layout used by the synthesised traces.
+PROGRAM_ROW = 16000
+INPUT_ROW = 16100
+OUTPUT_ROW = 16200
+
+#: One 32 B data beat per column command.
+BEAT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Cost knobs of the synthesised schedules (calibration constants)."""
+
+    #: Consecutive gathers served per 32 B read of the open input row.
+    #: Tiles are row-sorted and compression packs each tile's live columns
+    #: densely (Fig. 6), so neighbouring gathers usually share words of the
+    #: open row.
+    gather_locality: float = 4.0
+    #: Queue batches processed per row-switch phase. The three 192 B SpVQs
+    #: triple-buffer element loads, and the PU keeps streaming a matrix row
+    #: while earlier batches gather/accumulate, so one row visit feeds
+    #: several queue batches before the input row must be re-opened.
+    queue_phases: int = 6
+    #: Instructions written when programming a kernel (<=32).
+    program_instructions: int = 12
+    #: PB mode drives one bank at a time with single-bank commands.
+    per_bank_banks: int = 16
+    #: Bytes per SpVQ sub-queue (64 B in Table VIII); the hardware-sizing
+    #: ablation sweeps this to trade queue SRAM area against row-switch
+    #: amortisation.
+    subqueue_bytes: int = 64
+
+
+def _beats(nbytes: float) -> int:
+    """Column commands needed to move *nbytes*."""
+    return max(1, math.ceil(nbytes / BEAT_BYTES)) if nbytes > 0 else 0
+
+
+class _RowCursor:
+    """Tracks the open row of the lock-step bank group, emitting ACT/PRE."""
+
+    def __init__(self, all_bank: bool, bank: int = 0,
+                 channel: int = 0) -> None:
+        self._open: Optional[int] = None
+        self._all_bank = all_bank
+        self._bank = bank
+        self._channel = channel
+
+    def open_row(self, row: int) -> Iterator[Command]:
+        if self._open == row:
+            return
+        if self._open is not None:
+            yield Command(CommandType.PRE_AB if self._all_bank
+                          else CommandType.PRE, bank=self._bank,
+                          channel=self._channel)
+        self._open = row
+        yield Command(CommandType.ACT_AB if self._all_bank
+                      else CommandType.ACT, bank=self._bank, row=row,
+                      channel=self._channel)
+
+    def close(self) -> Iterator[Command]:
+        if self._open is not None:
+            yield Command(CommandType.PRE_AB if self._all_bank
+                          else CommandType.PRE, bank=self._bank,
+                          channel=self._channel)
+            self._open = None
+
+
+def _column(all_bank: bool, write: bool, row: int, col: int = 0,
+            bank: int = 0, tag: str = None) -> Command:
+    if all_bank:
+        kind = CommandType.WR_AB if write else CommandType.RD_AB
+    else:
+        kind = CommandType.WR if write else CommandType.RD
+    return Command(kind, bank=bank, row=row, col=col % 64, tag=tag)
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+def mode_switch() -> List[Command]:
+    return [Command(CommandType.MODE)]
+
+
+def program_load(params: TraceParams) -> List[Command]:
+    """AB-mode write of the kernel into the control registers."""
+    trace = [Command(CommandType.ACT_AB, row=PROGRAM_ROW)]
+    words = _beats(params.program_instructions * 4)
+    trace += [_column(True, True, PROGRAM_ROW, c, tag="program")
+              for c in range(words)]
+    trace.append(Command(CommandType.PRE_AB))
+    return trace
+
+
+def host_stage(bytes_per_bank: float, write: bool, row: int,
+               tag: str) -> List[Command]:
+    """SB-mode host traffic: stage/collect one region on all 16 banks."""
+    trace: List[Command] = []
+    beats = _beats(bytes_per_bank)
+    if beats == 0:
+        return trace
+    for bank in range(16):
+        trace.append(Command(CommandType.ACT, bank=bank, row=row))
+        trace += [_column(False, write, row, c, bank=bank, tag=tag)
+                  for c in range(beats)]
+        trace.append(Command(CommandType.PRE, bank=bank))
+    return trace
+
+
+def _kernel_batches(batches: int, batch_elems: int, eb: float,
+                    params: TraceParams, all_bank: bool,
+                    bank: int = 0, y_bytes: int = 1024) -> List[Command]:
+    """The AB-PIM (or PB) phase schedule for one tile stream.
+
+    Per queue batch: stream the COO elements from the matrix rows, then
+    gather x[col] values from the (re-opened) input row. Output follows
+    Algorithm 2's accumulate-into-DRF0-then-write scheme: elements are
+    row-sorted, so the 32 B output window advances monotonically and is
+    flushed (read-modify-write on the output row) only when it moves —
+    amortising output row visits over many batches.
+    """
+    trace: List[Command] = []
+    cursor = _RowCursor(all_bank, bank=bank)
+    mat_bytes_done = 0
+    gather_beats = max(1, round(batch_elems / params.gather_locality))
+    y_beats_total = _beats(y_bytes)
+    flush_debt = 0.0
+    flush_per_batch = y_beats_total / max(batches, 1)
+    flushed = 0
+    for _ in range(batches):
+        # phase 1: stream the COO batch from the matrix rows
+        for _ in range(_beats(batch_elems * eb)):
+            mat_row = mat_bytes_done // 1024
+            trace += cursor.open_row(mat_row)
+            trace.append(_column(all_bank, False, mat_row,
+                                 (mat_bytes_done % 1024) // BEAT_BYTES,
+                                 bank=bank, tag="matrix"))
+            mat_bytes_done += BEAT_BYTES
+        # phase 2: gather x[col] from the open input row
+        trace += cursor.open_row(INPUT_ROW)
+        trace += [_column(all_bank, False, INPUT_ROW, c, bank=bank,
+                          tag="gather") for c in range(gather_beats)]
+        # phase 3: flush output windows that advanced past this batch
+        flush_debt += flush_per_batch
+        if flush_debt >= 1.0:
+            trace += cursor.open_row(OUTPUT_ROW)
+            while flush_debt >= 1.0 and flushed < y_beats_total:
+                trace.append(_column(all_bank, False, OUTPUT_ROW, flushed,
+                                     bank=bank, tag="scatter"))
+                trace.append(_column(all_bank, True, OUTPUT_ROW, flushed,
+                                     bank=bank, tag="scatter"))
+                flush_debt -= 1.0
+                flushed += 1
+    # final window flush
+    if flushed < y_beats_total:
+        trace += cursor.open_row(OUTPUT_ROW)
+        while flushed < y_beats_total:
+            trace.append(_column(all_bank, False, OUTPUT_ROW, flushed,
+                                 bank=bank, tag="scatter"))
+            trace.append(_column(all_bank, True, OUTPUT_ROW, flushed,
+                                 bank=bank, tag="scatter"))
+            flushed += 1
+    trace += cursor.close()
+    return trace
+
+
+# ----------------------------------------------------------------------
+# SpMV traces
+# ----------------------------------------------------------------------
+def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
+                  params: TraceParams = TraceParams()) -> List[Command]:
+    """All-bank pSyncPIM schedule of one SpMV on one channel."""
+    vb = element_size(execution.precision)
+    eb = execution.stream_bytes_per_element
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    trace: List[Command] = []
+    for r, round_elems in enumerate(execution.round_batches):
+        # host stages this round's input segments (SB mode, external bus)
+        trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
+                            row=INPUT_ROW, tag="stage_x")
+        # SB -> AB: program; AB -> AB-PIM: execute
+        trace += mode_switch()
+        trace += program_load(params)
+        trace += mode_switch()
+        phase = rf_batch * params.queue_phases
+        batches = max(1, math.ceil(round_elems / phase))
+        trace += _kernel_batches(batches, phase, eb, params,
+                                 all_bank=True,
+                                 y_bytes=execution.round_y_lengths[r] * vb)
+        trace += mode_switch()  # AB-PIM -> SB
+        # host merges the round's output partials (remote accumulation)
+        trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
+                            row=OUTPUT_ROW, tag="merge_y")
+    return trace
+
+
+def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
+                  params: TraceParams = TraceParams()) -> List[Command]:
+    """Per-bank schedule: the host drives each bank's kernel separately.
+
+    Staging traffic is identical to AB mode; the kernel phase is replayed
+    per bank with single-bank commands, each bank streaming only its own
+    elements (no lock-step padding — PB's one advantage).
+    """
+    vb = element_size(execution.precision)
+    eb = execution.stream_bytes_per_element
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    per_bank = _representative_channel_loads(execution)
+    rounds = max(1, execution.num_rounds)
+    trace: List[Command] = []
+    for r in range(rounds):
+        trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
+                            row=INPUT_ROW, tag="stage_x")
+        for bank, elements in enumerate(per_bank):
+            share = elements / rounds
+            if share <= 0:
+                continue
+            trace += mode_switch()  # per-bank kernel arm
+            phase = rf_batch * params.queue_phases
+            batches = max(1, math.ceil(share / phase))
+            trace += _kernel_batches(
+                batches, phase, eb, params, all_bank=False, bank=bank,
+                y_bytes=execution.round_y_lengths[r] * vb)
+        trace += mode_switch()
+        trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
+                            row=OUTPUT_ROW, tag="merge_y")
+    return trace
+
+
+def _representative_channel_loads(execution: SpmvExecution) -> List[float]:
+    """Per-bank element loads of the busiest 16-bank channel."""
+    loads = execution.per_bank_elements
+    channels = max(1, loads.size // 16)
+    best, best_sum = None, -1
+    for ch in range(channels):
+        chunk = loads[ch * 16:(ch + 1) * 16]
+        if chunk.sum() > best_sum:
+            best, best_sum = chunk, chunk.sum()
+    if best is None:
+        raise MappingError("no banks in execution record")
+    return [float(v) for v in best]
+
+
+def _queue_batch(precision: str, subqueue_bytes: int = 64) -> int:
+    """Elements per lock-step batch: the SpVQ capacity for the format
+    (value sub-queue vs 16-bit index sub-queue, whichever binds)."""
+    value_bytes = element_size(precision)
+    return min(subqueue_bytes // value_bytes, subqueue_bytes // 2)
+
+
+# ----------------------------------------------------------------------
+# SpTRSV trace
+# ----------------------------------------------------------------------
+def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
+                    params: TraceParams = TraceParams()) -> List[Command]:
+    """The §VI-C flow: per level, SB reads -> broadcast -> AB-PIM kernel."""
+    vb = element_size(execution.precision)
+    eb = element_bytes(execution.precision)
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    num_channels = 16 * config.num_cubes
+    trace: List[Command] = []
+    for level in range(execution.num_levels):
+        width = execution.level_widths[level]
+        batch_elems = execution.level_batches[level]
+        # 1) SB mode: read the solved values of this level's columns
+        trace += host_stage(max(1.0, width * vb / num_channels),
+                            write=False, row=OUTPUT_ROW, tag="read_b")
+        # 2) AB mode: broadcast them + program the kernel
+        trace += mode_switch()
+        trace.append(Command(CommandType.ACT_AB, row=INPUT_ROW))
+        trace += [_column(True, True, INPUT_ROW, c, tag="broadcast")
+                  for c in range(_beats(width * vb))]
+        trace.append(Command(CommandType.PRE_AB))
+        trace += program_load(params)
+        # 3) AB-PIM: the scalar-multiply level kernel (Algorithm 3)
+        trace += mode_switch()
+        if batch_elems > 0:
+            phase = rf_batch * params.queue_phases
+            batches = max(1, math.ceil(batch_elems / phase))
+            # a level updates at most one output row per element it holds
+            y_bytes = min(min(execution.leaf_size, execution.n),
+                          batch_elems) * vb
+            trace += _kernel_batches(batches, phase, eb, params,
+                                     all_bank=True, y_bytes=y_bytes)
+        trace += mode_switch()  # back to SB for the next level
+    # the recursive off-diagonal updates are ordinary SpMVs
+    for update in execution.update_execs:
+        trace += spmv_ab_trace(update, config, params)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# dense streaming trace (BLAS-1 / Fig. 10)
+# ----------------------------------------------------------------------
+def dense_stream_trace(elements_per_bank: int, reads_per_group: int,
+                       writes_per_group: int, precision: str,
+                       all_bank: bool = True,
+                       active_banks: int = 16,
+                       params: TraceParams = TraceParams()) -> List[Command]:
+    """Streaming kernels: per 32 B group, fixed reads/writes per region.
+
+    In AB mode one command stream drives all banks; in PB mode the stream
+    repeats per bank on the shared buses.
+    """
+    vb = element_size(precision)
+    groups = _beats(elements_per_bank * vb)
+    trace: List[Command] = []
+    banks = [0] if all_bank else list(range(active_banks))
+    cursors = {bank: _RowCursor(all_bank, bank=bank) for bank in banks}
+    # one arm/disarm sequence per kernel; in PB mode the controller
+    # interleaves the banks' streams on the shared buses (it cannot
+    # broadcast, but it can overlap different banks' latencies).
+    trace += mode_switch()
+    if all_bank:
+        trace += program_load(params)
+    bytes_done = 0
+    for _ in range(groups):
+        row = bytes_done // 1024
+        col = (bytes_done % 1024) // BEAT_BYTES
+        for bank in banks:
+            trace += cursors[bank].open_row(row)
+        # batch all reads before all writes (FR-FCFS-style grouping keeps
+        # data-bus turnarounds to two per group instead of two per bank)
+        for bank in banks:
+            trace += [_column(all_bank, False, row, col, bank=bank,
+                              tag="stream") for _ in range(reads_per_group)]
+        for bank in banks:
+            trace += [_column(all_bank, True, row, col, bank=bank,
+                              tag="stream") for _ in range(writes_per_group)]
+        bytes_done += BEAT_BYTES
+    for bank in banks:
+        trace += cursors[bank].close()
+    trace += mode_switch()
+    return trace

@@ -1,0 +1,136 @@
+"""Physical address mapping for the pSyncPIM HBM2 cube.
+
+Table VII specifies the ``rorabgbachco`` interleaving with a 0-bit rank
+field: reading the string left to right gives the fields from most- to
+least-significant — row (ro), rank (ra, absent), bank group (bg), bank (ba),
+channel (ch), column (co). The decoder is generic over the field order so
+alternative mappings can be explored in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import HBM2Config
+from ..errors import AddressError
+
+#: Two-letter field tokens in mapping strings -> canonical field names.
+_FIELD_TOKENS = {
+    "ro": "row",
+    "ra": "rank",
+    "bg": "bankgroup",
+    "ba": "bank",
+    "ch": "channel",
+    "co": "column",
+}
+
+
+def _bits_for(count: int) -> int:
+    """Number of address bits needed to index *count* items (0 if 1)."""
+    if count <= 0:
+        raise AddressError(f"cannot size a field for {count} items")
+    return max(0, (count - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address split into DRAM coordinates."""
+
+    channel: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def flat_bank(self) -> int:
+        """Bank index within the channel (bankgroup-major)."""
+        return self.bankgroup * 4 + self.bank  # 4 banks per group (Table VII)
+
+
+class AddressMapper:
+    """Encode/decode physical byte addresses per a mapping string.
+
+    Addresses are byte addresses within one cube; the low
+    ``log2(column_bytes)`` bits are the byte offset inside a column and are
+    not part of the mapping.
+    """
+
+    def __init__(self, config: HBM2Config = HBM2Config()) -> None:
+        self._config = config
+        self._offset_bits = _bits_for(config.column_bytes)
+        sizes = {
+            "row": config.num_rows,
+            "rank": 1,  # Table VII: rank is 0 bits
+            "bankgroup": config.num_bankgroups,
+            "bank": config.banks_per_group,
+            "channel": config.num_pseudo_channels,
+            "column": config.num_columns,
+        }
+        self._fields = self._parse(config.address_mapping)
+        # (name, bits, size) from most to least significant
+        self._layout: List[Tuple[str, int, int]] = [
+            (name, _bits_for(sizes[name]), sizes[name])
+            for name in self._fields]
+        self._total_bits = sum(bits for _, bits, _ in self._layout)
+
+    @staticmethod
+    def _parse(mapping: str) -> List[str]:
+        if len(mapping) % 2:
+            raise AddressError(f"mapping string {mapping!r} has odd length")
+        fields = []
+        for i in range(0, len(mapping), 2):
+            token = mapping[i:i + 2]
+            if token not in _FIELD_TOKENS:
+                raise AddressError(f"unknown mapping token {token!r}")
+            name = _FIELD_TOKENS[token]
+            if name in fields:
+                raise AddressError(f"field {token!r} appears twice")
+            fields.append(name)
+        missing = set(_FIELD_TOKENS.values()) - set(fields)
+        if missing:
+            raise AddressError(f"mapping misses fields: {sorted(missing)}")
+        return fields
+
+    @property
+    def addressable_bytes(self) -> int:
+        """Total bytes covered by the mapping (the cube capacity)."""
+        return 1 << (self._total_bits + self._offset_bits)
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a byte *address* into DRAM coordinates."""
+        if not 0 <= address < self.addressable_bytes:
+            raise AddressError(
+                f"address {address:#x} outside cube capacity "
+                f"{self.addressable_bytes:#x}")
+        bits = address >> self._offset_bits
+        values: Dict[str, int] = {}
+        shift = self._total_bits
+        for name, width, size in self._layout:
+            shift -= width
+            value = (bits >> shift) & ((1 << width) - 1)
+            if value >= size:
+                raise AddressError(
+                    f"{name} index {value} exceeds size {size} in "
+                    f"address {address:#x}")
+            values[name] = value
+        return DecodedAddress(channel=values["channel"],
+                              bankgroup=values["bankgroup"],
+                              bank=values["bank"], row=values["row"],
+                              column=values["column"])
+
+    def encode(self, channel: int, bankgroup: int, bank: int, row: int,
+               column: int, offset: int = 0) -> int:
+        """Compose a byte address from DRAM coordinates."""
+        values = {"channel": channel, "bankgroup": bankgroup, "bank": bank,
+                  "row": row, "column": column, "rank": 0}
+        if not 0 <= offset < self._config.column_bytes:
+            raise AddressError(f"offset {offset} exceeds column size")
+        bits = 0
+        for name, width, size in self._layout:
+            value = values[name]
+            if not 0 <= value < size:
+                raise AddressError(f"{name}={value} out of range [0,{size})")
+            bits = (bits << width) | value
+        return (bits << self._offset_bits) | offset

@@ -1,0 +1,90 @@
+"""Per-bank DRAM protocol state.
+
+Each bank tracks its open row and the earliest cycle at which each command
+class may legally target it. The channel scheduler
+(:mod:`repro.dram.channel`) combines these per-bank windows with bus- and
+group-level constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TimingError
+from .timing import TimingParams
+
+
+class BankState:
+    """Timing and row state of a single DRAM bank."""
+
+    __slots__ = ("timing", "open_row", "act_ready", "rd_ready", "wr_ready",
+                 "pre_ready")
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.act_ready = 0   # earliest ACT issue cycle
+        self.rd_ready = 0    # earliest RD issue cycle (row must be open)
+        self.wr_ready = 0
+        self.pre_ready = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def earliest_act(self) -> int:
+        if self.is_open:
+            raise TimingError("ACT issued to a bank with an open row")
+        return self.act_ready
+
+    def earliest_column(self, row: int, write: bool) -> int:
+        if self.open_row is None:
+            raise TimingError("column command issued to a precharged bank")
+        if self.open_row != row:
+            raise TimingError(
+                f"column command targets row {row} but row "
+                f"{self.open_row} is open")
+        return self.wr_ready if write else self.rd_ready
+
+    def earliest_pre(self) -> int:
+        if not self.is_open:
+            raise TimingError("PRE issued to an already precharged bank")
+        return self.pre_ready
+
+    # ------------------------------------------------------------------
+    def apply_act(self, cycle: int, row: int) -> None:
+        """Record an ACT issued at *cycle* opening *row*."""
+        t = self.timing
+        self.open_row = row
+        self.rd_ready = cycle + t.trcd
+        self.wr_ready = cycle + t.trcd
+        self.pre_ready = cycle + t.tras
+        # tRC lower-bounds the next ACT even if PRE comes early.
+        self.act_ready = max(self.act_ready, cycle + t.trc)
+
+    def apply_read(self, cycle: int) -> None:
+        """Record a RD issued at *cycle* (burst occupies the data bus)."""
+        t = self.timing
+        self.pre_ready = max(self.pre_ready, cycle + t.trtp)
+        self.rd_ready = max(self.rd_ready, cycle + t.burst_cycles)
+        self.wr_ready = max(self.wr_ready, cycle + t.read_to_write)
+
+    def apply_write(self, cycle: int) -> None:
+        """Record a WR issued at *cycle*."""
+        t = self.timing
+        self.pre_ready = max(self.pre_ready, cycle + t.write_recovery)
+        self.wr_ready = max(self.wr_ready, cycle + t.burst_cycles)
+        self.rd_ready = max(self.rd_ready, cycle + t.write_to_read)
+
+    def apply_pre(self, cycle: int) -> None:
+        """Record a PRE issued at *cycle*."""
+        self.open_row = None
+        self.act_ready = max(self.act_ready, cycle + self.timing.trp)
+
+    def block_until(self, cycle: int) -> None:
+        """Push every readiness window to *cycle* (used by refresh)."""
+        self.act_ready = max(self.act_ready, cycle)
+        self.rd_ready = max(self.rd_ready, cycle)
+        self.wr_ready = max(self.wr_ready, cycle)
+        self.pre_ready = max(self.pre_ready, cycle)

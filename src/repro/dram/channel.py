@@ -1,0 +1,241 @@
+"""Pseudo-channel command scheduler.
+
+One :class:`ChannelScheduler` owns the 16 banks of an HBM2 pseudo-channel
+(4 groups x 4 banks, Table VII) and computes, for each command, the earliest
+cycle at which it can legally issue given
+
+* per-bank windows (tRCD/tRAS/tRP/tRC/tWR/tRTP — :mod:`repro.dram.bank`),
+* bank-group constraints (tCCD_L / tRRD_L vs tCCD_S / tRRD_S),
+* the four-activation window (tFAW),
+* the shared command buses — one row command and one column command per
+  cycle, the constraint the paper's Figure 3 argument rests on ("DRAM chips
+  can handle only two memory commands per clock per channel"), and
+* read/write turnaround on the shared data bus.
+
+All-bank commands (AB / AB-PIM modes) are single bus slots whose constraints
+are the maximum over all banks and which update every bank's state. The
+four-activation window is not applied to broadcast activates: HBM-PIM's
+all-bank mode staggers the internal activation under a relaxed power budget,
+which the model reflects by spacing consecutive broadcast ACTs by tRC via the
+ordinary per-bank windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import TimingError
+from .bank import BankState
+from .commands import Command, CommandType
+from .timing import TimingParams
+
+BANKS_PER_GROUP = 4
+GROUPS_PER_CHANNEL = 4
+BANKS_PER_CHANNEL = BANKS_PER_GROUP * GROUPS_PER_CHANNEL
+
+
+class ChannelScheduler:
+    """In-order command scheduler for one pseudo-channel."""
+
+    def __init__(self, timing: TimingParams,
+                 enable_refresh: bool = True) -> None:
+        self.timing = timing.validate()
+        self.enable_refresh = enable_refresh
+        self.banks: List[BankState] = [BankState(timing)
+                                       for _ in range(BANKS_PER_CHANNEL)]
+        self._row_bus_free = 0
+        self._col_bus_free = 0
+        # Column-command history for CCD spacing and bus turnaround.
+        self._last_col_cycle = -10 ** 9
+        self._last_col_group: Optional[int] = None
+        self._last_col_was_write = False
+        self._last_col_all_bank = False
+        # ACT history for tFAW (single-bank ACTs only) and RRD spacing.
+        self._act_times: Deque[int] = deque(maxlen=4)
+        self._last_act_cycle = -10 ** 9
+        self._last_act_group: Optional[int] = None
+        self._next_refresh = timing.trefi
+        self._now = 0
+        self.counts: Dict[CommandType, int] = {k: 0 for k in CommandType}
+        self.refreshes_performed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Cycle at which the most recent command issued."""
+        return self._now
+
+    def _group_of(self, bank: int) -> int:
+        return bank // BANKS_PER_GROUP
+
+    # ------------------------------------------------------------------
+    def issue(self, command: Command, earliest: int = 0) -> int:
+        """Issue *command* no earlier than *earliest*; return its cycle.
+
+        Commands must arrive in program order (in-order controller, as the
+        paper requires for PIM: out-of-order issue is disabled).
+        """
+        earliest = max(earliest, self._now + command.min_gap)
+        if self.enable_refresh:
+            self._maybe_refresh(earliest)
+        kind = command.kind
+        if kind is CommandType.MODE:
+            cycle = self._issue_mode(earliest)
+        elif kind is CommandType.REF:
+            cycle = self._issue_refresh(earliest)
+        elif kind.is_row:
+            cycle = self._issue_row(command, earliest)
+        elif kind.is_column:
+            cycle = self._issue_column(command, earliest)
+        else:  # pragma: no cover - enum is exhaustive
+            raise TimingError(f"unhandled command kind {kind}")
+        self.counts[kind] += 1
+        self._now = cycle
+        return cycle
+
+    # ------------------------------------------------------------------
+    # row commands
+    # ------------------------------------------------------------------
+    def _issue_row(self, command: Command, earliest: int) -> int:
+        t = self.timing
+        kind = command.kind
+        cycle = max(earliest, self._row_bus_free)
+        if kind is CommandType.ACT:
+            bank = self._bank(command.bank)
+            cycle = max(cycle, bank.earliest_act())
+            cycle = max(cycle, self._rrd_window(command.bank, cycle))
+            cycle = self._faw_window(cycle)
+            bank.apply_act(cycle, command.row)
+            self._act_times.append(cycle)
+            self._last_act_cycle = cycle
+            self._last_act_group = self._group_of(command.bank)
+        elif kind is CommandType.ACT_AB:
+            cycle = max(cycle, *(b.earliest_act() for b in self.banks))
+            for b in self.banks:
+                b.apply_act(cycle, command.row)
+            # Broadcast ACT resets single-bank RRD history; internal
+            # staggering is folded into the per-bank tRC spacing.
+            self._last_act_cycle = cycle
+            self._last_act_group = None
+        elif kind is CommandType.PRE:
+            bank = self._bank(command.bank)
+            cycle = max(cycle, bank.earliest_pre())
+            bank.apply_pre(cycle)
+        elif kind is CommandType.PRE_AB:
+            open_banks = [b for b in self.banks if b.is_open]
+            if not open_banks:
+                raise TimingError("PRE_AB with no open banks")
+            cycle = max(cycle, *(b.earliest_pre() for b in open_banks))
+            for b in open_banks:
+                b.apply_pre(cycle)
+        self._row_bus_free = cycle + 1
+        return cycle
+
+    def _rrd_window(self, bank: int, cycle: int) -> int:
+        """ACT-to-ACT spacing: tRRD_L within a group, tRRD_S across."""
+        if self._last_act_cycle < 0:
+            return cycle
+        same_group = self._last_act_group == self._group_of(bank)
+        spacing = self.timing.trrd_l if same_group else self.timing.trrd_s
+        return max(cycle, self._last_act_cycle + spacing)
+
+    def _faw_window(self, cycle: int) -> int:
+        """No more than four single-bank ACTs within tFAW."""
+        if len(self._act_times) == 4:
+            cycle = max(cycle, self._act_times[0] + self.timing.tfaw)
+        return cycle
+
+    # ------------------------------------------------------------------
+    # column commands
+    # ------------------------------------------------------------------
+    def _issue_column(self, command: Command, earliest: int) -> int:
+        t = self.timing
+        kind = command.kind
+        write = kind.is_write
+        cycle = max(earliest, self._col_bus_free)
+        if kind.is_all_bank:
+            cycle = max(cycle, *(b.earliest_column(command.row, write)
+                                 for b in self.banks))
+            group: Optional[int] = None
+        else:
+            bank = self._bank(command.bank)
+            cycle = max(cycle, bank.earliest_column(command.row, write))
+            group = self._group_of(command.bank)
+        cycle = max(cycle, self._ccd_window(group))
+        cycle = max(cycle, self._turnaround(write))
+        if kind.is_all_bank:
+            for b in self.banks:
+                (b.apply_write if write else b.apply_read)(cycle)
+        else:
+            (bank.apply_write if write else bank.apply_read)(cycle)
+        self._last_col_cycle = cycle
+        self._last_col_group = group
+        self._last_col_was_write = write
+        self._last_col_all_bank = kind.is_all_bank
+        self._col_bus_free = cycle + 1
+        return cycle
+
+    def _ccd_window(self, group: Optional[int]) -> int:
+        """Column-to-column spacing; broadcasts always pay tCCD_L."""
+        if self._last_col_cycle < 0:
+            return 0
+        same_group = (group is None or self._last_col_all_bank
+                      or self._last_col_group == group)
+        spacing = self.timing.tccd_l if same_group else self.timing.tccd_s
+        return self._last_col_cycle + spacing
+
+    def _turnaround(self, write: bool) -> int:
+        """Data-bus direction switch penalty."""
+        if self._last_col_cycle < 0 or write == self._last_col_was_write:
+            return 0
+        t = self.timing
+        gap = t.read_to_write if write else t.write_to_read
+        return self._last_col_cycle + gap
+
+    # ------------------------------------------------------------------
+    # mode switches and refresh
+    # ------------------------------------------------------------------
+    def _issue_mode(self, earliest: int) -> int:
+        """An SB<->AB<->AB-PIM transition occupies both buses."""
+        cycle = max(earliest, self._row_bus_free, self._col_bus_free)
+        done = cycle + self.timing.mode_switch_cycles
+        self._row_bus_free = done
+        self._col_bus_free = done
+        return cycle
+
+    def _issue_refresh(self, earliest: int) -> int:
+        """All-bank refresh; requires every bank precharged."""
+        open_banks = [b for b in self.banks if b.is_open]
+        if open_banks:
+            raise TimingError("REF issued while banks are open; "
+                              "precharge first")
+        cycle = max(earliest, self._row_bus_free,
+                    *(b.act_ready for b in self.banks))
+        done = cycle + self.timing.trfc
+        for b in self.banks:
+            b.block_until(done)
+        self._row_bus_free = cycle + 1
+        self.refreshes_performed += 1
+        return cycle
+
+    def _maybe_refresh(self, earliest: int) -> None:
+        """Insert due refreshes at row boundaries (all banks precharged).
+
+        Real controllers defer refresh while rows are open and catch up at
+        the next precharge; the model does the same, so a refresh can slide
+        past its nominal tREFI point but is never dropped.
+        """
+        if any(b.is_open for b in self.banks):
+            return
+        while self._next_refresh <= max(earliest, self._now):
+            self.counts[CommandType.REF] += 1
+            self._now = self._issue_refresh(max(self._next_refresh,
+                                                self._now))
+            self._next_refresh += self.timing.trefi
+
+    # ------------------------------------------------------------------
+    def _bank(self, index: int) -> BankState:
+        if not 0 <= index < BANKS_PER_CHANNEL:
+            raise TimingError(f"bank index {index} outside channel")
+        return self.banks[index]

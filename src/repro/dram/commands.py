@@ -1,0 +1,83 @@
+"""DRAM command vocabulary for single-bank and all-bank operation.
+
+The host controls pSyncPIM with ordinary JEDEC commands. In single-bank (SB)
+mode they address one bank; in all-bank (AB / AB-PIM) modes one command is
+broadcast to every bank of the pseudo-channel (paper §II-B, Fig. 1). Mode
+transitions are themselves command sequences and appear in the trace as
+``MODE`` entries so their bus occupancy and latency are accounted for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """Kinds of entries a command trace may contain."""
+
+    ACT = "act"        # activate a row in one bank
+    PRE = "pre"        # precharge one bank
+    RD = "rd"          # column read from one bank
+    WR = "wr"          # column write to one bank
+    ACT_AB = "act_ab"  # broadcast activate: same row in all banks
+    PRE_AB = "pre_ab"  # broadcast precharge of all banks
+    RD_AB = "rd_ab"    # broadcast column read (drives PIM execution)
+    WR_AB = "wr_ab"    # broadcast column write (drives PIM execution)
+    REF = "ref"        # refresh (all banks of the channel)
+    MODE = "mode"      # SB<->AB<->AB-PIM mode-switch sequence
+
+    @property
+    def is_row(self) -> bool:
+        """True for commands issued on the row-command bus."""
+        return self in (CommandType.ACT, CommandType.PRE, CommandType.ACT_AB,
+                        CommandType.PRE_AB, CommandType.REF)
+
+    @property
+    def is_column(self) -> bool:
+        """True for commands issued on the column-command bus."""
+        return self in (CommandType.RD, CommandType.WR, CommandType.RD_AB,
+                        CommandType.WR_AB)
+
+    @property
+    def is_all_bank(self) -> bool:
+        """True when one command drives every bank of the channel."""
+        return self in (CommandType.ACT_AB, CommandType.PRE_AB,
+                        CommandType.RD_AB, CommandType.WR_AB,
+                        CommandType.REF)
+
+    @property
+    def is_read(self) -> bool:
+        return self in (CommandType.RD, CommandType.RD_AB)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (CommandType.WR, CommandType.WR_AB)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One trace entry targeting a pseudo-channel.
+
+    ``bank`` identifies the bank within the channel (0..15) for single-bank
+    commands and is ignored for all-bank commands. ``min_gap`` lets the PIM
+    engine encode compute throttling: the command may not issue earlier than
+    ``min_gap`` cycles after the previous command of the trace (used when the
+    processing units need more than one column interval to digest a beat).
+    """
+
+    kind: CommandType
+    channel: int = 0
+    bank: int = 0
+    row: int = 0
+    col: int = 0
+    min_gap: int = 0
+    #: Optional annotation for debugging / breakdown reporting.
+    tag: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.channel < 0 or self.bank < 0 or self.row < 0 or self.col < 0:
+            raise ValueError("command coordinates must be non-negative")
+        if self.min_gap < 0:
+            raise ValueError("min_gap must be non-negative")

@@ -1,0 +1,137 @@
+"""Energy and power model for pSyncPIM (paper §VII-F).
+
+The paper estimates power from the Samsung HBM-PIM silicon data [24] with
+ALU energies from Galal & Horowitz [10], running a modified DRAMsim3 power
+model. This module does the equivalent at command granularity: each command
+class carries a per-event energy, background power accrues with elapsed
+cycles, and PU ALU/register energy accrues per executed operation. In PIM
+execution mode the 1024-bit buffer-die I/O is assumed off (paper assumption),
+which the model expresses by charging external-I/O energy only for commands
+tagged as host traffic.
+
+The constants are in picojoules and are documented with their provenance;
+they sit in a dataclass so ablations can replace them wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .commands import CommandType
+from .timing import TimingParams
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (pJ) and background power (mW per channel)."""
+
+    #: One row activation + implied precharge restore for one bank.
+    #: Scaled from HBM-PIM silicon power data [24]: the all-bank PIM mode
+    #: activates with the buffer-die I/O off and a reduced page, landing
+    #: well below conventional per-bank activation energy.
+    act_pre_pj: float = 220.0
+    #: One 32 B internal column read (bank to PU): ~0.6 pJ/bit internal.
+    read_internal_pj: float = 95.0
+    #: One 32 B internal column write.
+    write_internal_pj: float = 120.0
+    #: Extra energy when the data additionally crosses the external
+    #: interface to the host (~6 pJ/bit for HBM2 I/O + PHY).
+    external_io_pj: float = 1350.0
+    #: Refresh of all banks of a channel.
+    refresh_pj: float = 28000.0
+    #: Static + peripheral background power per pseudo-channel, in mW.
+    #: HBM2 standby + peripheral power is ~1 W per cube (16 pseudo
+    #: channels); this is what makes slow schedules expensive (Fig. 14's
+    #: per-bank energy penalty comes mostly from here).
+    background_mw_per_channel: float = 60.0
+    #: PU ALU energy per FP64-equivalent operation (Galal-Horowitz FPU,
+    #: scaled to a 2x nm-class node), including register file access.
+    alu_fp64_pj: float = 11.0
+    #: Relative ALU energy per op for other precisions.
+    alu_scale: Dict[str, float] = field(default_factory=lambda: {
+        "int8": 0.03, "int16": 0.06, "int32": 0.12, "int64": 0.45,
+        "fp16": 0.10, "fp32": 0.30, "fp64": 1.0})
+
+    def alu_pj(self, precision: str) -> float:
+        """ALU energy per scalar operation for *precision* (pJ)."""
+        return self.alu_fp64_pj * self.alu_scale[precision]
+
+
+@dataclass
+class EnergyReport:
+    """Accumulated energy broken down by source, in picojoules."""
+
+    activation_pj: float = 0.0
+    read_pj: float = 0.0
+    write_pj: float = 0.0
+    external_pj: float = 0.0
+    refresh_pj: float = 0.0
+    background_pj: float = 0.0
+    alu_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (self.activation_pj + self.read_pj + self.write_pj
+                + self.external_pj + self.refresh_pj + self.background_pj
+                + self.alu_pj)
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    def average_power_watts(self, elapsed_cycles: int,
+                            timing: TimingParams) -> float:
+        """Mean power over *elapsed_cycles* of DRAM time."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles * timing.tck_ns * 1e-9
+        return self.total_joules / seconds
+
+
+class EnergyModel:
+    """Turn command counts, elapsed time and ALU ops into an EnergyReport."""
+
+    def __init__(self, params: EnergyParams = EnergyParams(),
+                 timing: TimingParams = TimingParams()) -> None:
+        self.params = params
+        self.timing = timing
+
+    def command_energy(self, counts: Dict[CommandType, int],
+                       banks_per_channel: int = 16,
+                       host_column_traffic: int = 0) -> EnergyReport:
+        """Energy of a command mix.
+
+        All-bank commands charge every bank they touch.
+        ``host_column_traffic`` is the number of column commands whose data
+        crossed the external interface (SB-mode host reads/writes); PIM-mode
+        column traffic stays internal.
+        """
+        p = self.params
+        report = EnergyReport()
+        acts = (counts.get(CommandType.ACT, 0)
+                + counts.get(CommandType.ACT_AB, 0) * banks_per_channel)
+        report.activation_pj = acts * p.act_pre_pj
+        reads = (counts.get(CommandType.RD, 0)
+                 + counts.get(CommandType.RD_AB, 0) * banks_per_channel)
+        writes = (counts.get(CommandType.WR, 0)
+                  + counts.get(CommandType.WR_AB, 0) * banks_per_channel)
+        report.read_pj = reads * p.read_internal_pj
+        report.write_pj = writes * p.write_internal_pj
+        report.external_pj = host_column_traffic * p.external_io_pj
+        report.refresh_pj = counts.get(CommandType.REF, 0) * p.refresh_pj
+        return report
+
+    def add_background(self, report: EnergyReport, elapsed_cycles: int,
+                       num_channels: int = 1) -> EnergyReport:
+        """Accrue background power over the elapsed schedule length."""
+        seconds = elapsed_cycles * self.timing.tck_ns * 1e-9
+        report.background_pj += (self.params.background_mw_per_channel * 1e-3
+                                 * num_channels * seconds * 1e12)
+        return report
+
+    def add_alu(self, report: EnergyReport, operations: int,
+                precision: str) -> EnergyReport:
+        """Accrue PU ALU energy for *operations* scalar ops."""
+        report.alu_pj += operations * self.params.alu_pj(precision)
+        return report

@@ -1,0 +1,87 @@
+"""HBM2 timing parameters and derived inter-command constraints.
+
+The values follow DRAMsim3's HBM2 configuration at 1 GHz (tCK = 1 ns), which
+is what the paper's modified simulator uses (Table VII: "HBM2 default
+timing"). All parameters are expressed in DRAM clock cycles.
+
+Only the constraints that shape pSyncPIM behaviour are modelled — activation
+and precharge windows, column-to-column spacing within and across bank
+groups, the four-activation window, bus turnaround, and refresh. They are the
+same constraints DRAMsim3 enforces at command granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """JEDEC-style timing constraints, in DRAM clock cycles."""
+
+    tck_ns: float = 1.0     # 1 GHz DRAM clock (Table VII)
+    cl: int = 14            # CAS latency (RD to data)
+    cwl: int = 4            # CAS write latency
+    trcd: int = 14          # ACT to RD/WR
+    trp: int = 14           # PRE to ACT
+    tras: int = 33          # ACT to PRE
+    tccd_s: int = 2         # column-to-column, different bank group
+    tccd_l: int = 4         # column-to-column, same bank group
+    trrd_s: int = 4         # ACT-to-ACT, different bank group
+    trrd_l: int = 6         # ACT-to-ACT, same bank group
+    tfaw: int = 16          # four-activation window
+    twr: int = 16           # write recovery (WR data end to PRE)
+    twtr: int = 8           # write-to-read turnaround
+    trtp: int = 5           # read-to-precharge
+    trefi: int = 3900       # refresh interval
+    trfc: int = 260         # refresh cycle time
+    burst_cycles: int = 2   # data burst occupancy per column command
+    #: Cycles charged for each SB<->AB<->AB-PIM mode transition. The paper
+    #: describes each switch as "a sequence of memory commands"; HBM-PIM uses
+    #: a short fixed command sequence, modelled as one bus-occupying window.
+    mode_switch_cycles: int = 32
+    #: Cycles to program one PIM instruction into the control registers
+    #: (one write transaction per instruction word group).
+    program_cycles_per_instruction: int = 2
+
+    @property
+    def trc(self) -> int:
+        """Row cycle time: minimum spacing of ACTs to the same bank."""
+        return self.tras + self.trp
+
+    @property
+    def read_to_write(self) -> int:
+        """Column bus turnaround from a RD to a WR (RL + BL/2 + 2 - WL)."""
+        return self.cl + self.burst_cycles + 2 - self.cwl
+
+    @property
+    def write_to_read(self) -> int:
+        """Column bus turnaround from a WR to a RD."""
+        return self.cwl + self.burst_cycles + self.twtr
+
+    @property
+    def write_recovery(self) -> int:
+        """WR command to PRE of the same bank."""
+        return self.cwl + self.burst_cycles + self.twr
+
+    def validate(self) -> "TimingParams":
+        """Sanity-check physically required orderings."""
+        if min(self.cl, self.trcd, self.trp, self.tras) <= 0:
+            raise ConfigError("core timing parameters must be positive")
+        if self.tccd_l < self.tccd_s:
+            raise ConfigError("same-bank-group CCD cannot be shorter than "
+                              "cross-group CCD")
+        if self.trrd_l < self.trrd_s:
+            raise ConfigError("same-bank-group RRD cannot be shorter than "
+                              "cross-group RRD")
+        if self.tfaw < self.trrd_s:
+            raise ConfigError("tFAW shorter than a single ACT spacing")
+        if self.trfc >= self.trefi:
+            raise ConfigError("refresh would consume the whole interval")
+        return self
+
+
+#: The configuration used throughout the paper's evaluation.
+HBM2_1GHZ = TimingParams()

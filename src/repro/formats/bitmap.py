@@ -1,0 +1,128 @@
+"""Bitmap sparse-matrix format (paper §IV-C and §VIII).
+
+COO is the right on-bank format below ~1 % density; sparse *neural
+network* layers sit at 10-50 % density, where per-element coordinates
+waste capacity and bandwidth. The paper argues a bitmap representation —
+one presence bit per position plus a dense array of the non-zero values in
+scan order — is the better fit there, and that supporting both formats in
+one PIM design costs only minor hardware.
+
+:class:`BitmapMatrix` implements that representation (bits packed eight
+per byte, row-major scan), plus the footprint model the format-selection
+helper and the ablation benchmark use.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..config import element_size
+from ..errors import FormatError
+from .coo import COOMatrix
+
+
+class BitmapMatrix:
+    """Presence bitmap + packed non-zero values, row-major scan order."""
+
+    __slots__ = ("shape", "bits", "values")
+
+    def __init__(self, shape: Tuple[int, int], bits: np.ndarray,
+                 values: np.ndarray, check: bool = True) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.bits = np.ascontiguousarray(bits, dtype=np.uint8)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, matrix: COOMatrix) -> "BitmapMatrix":
+        """Encode a COO matrix (values re-ordered to row-major scan)."""
+        srt = matrix.sorted_rows()
+        flat = srt.rows * matrix.shape[1] + srt.cols
+        total = matrix.shape[0] * matrix.shape[1]
+        mask = np.zeros(total, dtype=bool)
+        mask[flat] = True
+        return cls(matrix.shape, np.packbits(mask), srt.vals.copy(),
+                   check=False)
+
+    def to_coo(self) -> COOMatrix:
+        """Decode back to COO (row-major element order)."""
+        total = self.shape[0] * self.shape[1]
+        mask = np.unpackbits(self.bits, count=total).astype(bool)
+        flat = np.nonzero(mask)[0]
+        return COOMatrix(self.shape, flat // self.shape[1],
+                         flat % self.shape[1], self.values.copy(),
+                         check=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        volume = self.shape[0] * self.shape[1]
+        return self.nnz / volume if volume else 0.0
+
+    def validate(self) -> "BitmapMatrix":
+        total = self.shape[0] * self.shape[1]
+        expected_bytes = (total + 7) // 8
+        if self.bits.size != expected_bytes:
+            raise FormatError(
+                f"bitmap holds {self.bits.size} bytes; shape needs "
+                f"{expected_bytes}")
+        popcount = int(np.unpackbits(self.bits, count=total).sum())
+        if popcount != self.values.size:
+            raise FormatError(
+                f"bitmap has {popcount} set bits but {self.values.size} "
+                "values")
+        return self
+
+    # ------------------------------------------------------------------
+    def footprint_bytes(self, precision: str = "fp64") -> int:
+        """On-bank bytes: the bitmap plus the packed values."""
+        return int(self.bits.size) + self.nnz * element_size(precision)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV through the bitmap decode path."""
+        return self.to_coo().matvec(x)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitmapMatrix):
+            return NotImplemented
+        return (self.shape == other.shape
+                and np.array_equal(self.bits, other.bits)
+                and np.allclose(self.values, other.values))
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BitmapMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"density={self.density:.3g})")
+
+
+def coo_footprint_bytes(matrix: COOMatrix, precision: str = "fp64",
+                        index_bytes: int = 2) -> int:
+    """On-bank bytes of the COO layout (two tile-local indices + value)."""
+    return matrix.nnz * (2 * index_bytes + element_size(precision))
+
+
+def best_format(density: float, precision: str = "fp64",
+                index_bytes: int = 2) -> str:
+    """The paper's format rule: COO below the footprint crossover.
+
+    Both formats store the values; they differ in metadata: COO pays
+    ``2 * index_bytes`` per element, the bitmap pays one bit per matrix
+    position. The bitmap wins once ``density > 1 / (16 * index_bytes)``
+    (about 3 % with 16-bit tile-local indices) — comfortably below the
+    10-50 % densities of sparse neural networks (§VIII) and comfortably
+    above the <1 % HPC regime the paper targets with COO.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise FormatError("density must lie in [0, 1]")
+    element_size(precision)  # validate the name
+    crossover = 1.0 / (16 * index_bytes)
+    return "bitmap" if density > crossover else "coo"

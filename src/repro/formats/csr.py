@@ -1,0 +1,96 @@
+"""Compressed sparse row (CSR) container.
+
+The paper argues COO is the right on-bank format for <1% density (§IV-C) but
+notes pSyncPIM can support CSR/CSC with four extra index registers and an
+integer adder. The host side of this reproduction also needs CSR for fast
+row-sliced traversals (level scheduling, golden references), so a small,
+self-contained CSR type lives here with lossless conversions to/from COO.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+
+class CSRMatrix:
+    """Row-compressed sparse matrix with int64 indices and float64 values."""
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray,
+                 check: bool = True) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert from COO; duplicate coordinates are rejected upstream."""
+        srt = coo.sorted_rows()
+        indptr = np.zeros(coo.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, srt.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(coo.shape, indptr, srt.cols, srt.vals, check=False)
+
+    def to_coo(self) -> COOMatrix:
+        """Convert back to COO in row-major order."""
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64),
+                         np.diff(self.indptr))
+        return COOMatrix(self.shape, rows, self.indices.copy(),
+                         self.data.copy(), check=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def validate(self) -> "CSRMatrix":
+        """Check monotone indptr and in-range, per-row-sorted indices."""
+        if self.indptr.size != self.shape[0] + 1:
+            raise FormatError("indptr length must be nrows + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise FormatError("indptr does not span the index array")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise FormatError("indices and data length mismatch")
+        if self.nnz and (self.indices.min() < 0
+                         or self.indices.max() >= self.shape[1]):
+            raise FormatError("column index out of range")
+        return self
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row *i* as views (no copies)."""
+        if not 0 <= i < self.shape[0]:
+            raise FormatError(f"row {i} out of range for shape {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_counts(self) -> np.ndarray:
+        """nnz per row."""
+        return np.diff(self.indptr)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference ``y = A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise FormatError("vector length does not match matrix shape")
+        y = np.zeros(self.shape[0])
+        contrib = self.data * x[self.indices]
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        np.add.at(y, rows, contrib)
+        return y
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (small matrices / tests only)."""
+        return self.to_coo().to_dense()

@@ -1,0 +1,136 @@
+"""Matrix Market (.mtx) coordinate-format reader and writer.
+
+The paper's Table IX matrices come from SuiteSparse/SNAP, which distribute
+Matrix Market files. This module implements the coordinate subset of the
+format (the only subset those collections use for sparse matrices):
+``real`` / ``integer`` / ``pattern`` fields with ``general`` / ``symmetric``
+/ ``skew-symmetric`` symmetry. Dense ``array`` files and ``complex`` fields
+are out of scope and rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Tuple, Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_SUPPORTED_FIELDS = ("real", "integer", "pattern")
+_SUPPORTED_SYMMETRY = ("general", "symmetric", "skew-symmetric")
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
+    """Parse a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    *source* may be a path or an open text stream. Symmetric and
+    skew-symmetric files are expanded to full (general) storage, which is
+    what every consumer in this package expects.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            return read_matrix_market(handle)
+    return _parse(source)
+
+
+def reads_matrix_market(text: str) -> COOMatrix:
+    """Parse Matrix Market *text* (convenience for tests and examples)."""
+    return _parse(io.StringIO(text))
+
+
+def write_matrix_market(matrix: COOMatrix,
+                        target: Union[str, Path, TextIO],
+                        comment: str = "") -> None:
+    """Write *matrix* as a general real coordinate Matrix Market file."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as handle:
+            write_matrix_market(matrix, handle, comment=comment)
+            return
+    target.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+    for line in comment.splitlines():
+        target.write(f"% {line}\n")
+    target.write(f"{matrix.shape[0]} {matrix.shape[1]} {matrix.nnz}\n")
+    for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+        target.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")
+
+
+def writes_matrix_market(matrix: COOMatrix, comment: str = "") -> str:
+    """Serialise *matrix* to a Matrix Market string."""
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer, comment=comment)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _parse(stream: TextIO) -> COOMatrix:
+    header = stream.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise FormatError("missing %%MatrixMarket header")
+    tokens = header.split()
+    if len(tokens) != 5 or tokens[1].lower() != "matrix":
+        raise FormatError(f"malformed header: {header.strip()!r}")
+    layout, field, symmetry = (t.lower() for t in tokens[2:5])
+    if layout != "coordinate":
+        raise FormatError(f"unsupported layout {layout!r} (only coordinate)")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = _next_data_line(stream)
+    if size_line is None:
+        raise FormatError("missing size line")
+    try:
+        nrows, ncols, nnz = (int(t) for t in size_line.split())
+    except ValueError:
+        raise FormatError(f"malformed size line: {size_line!r}") from None
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for _ in range(nnz):
+        line = _next_data_line(stream)
+        if line is None:
+            raise FormatError(f"file ends early: expected {nnz} entries, "
+                              f"got {len(rows)}")
+        parts = line.split()
+        expected = 2 if field == "pattern" else 3
+        if len(parts) < expected:
+            raise FormatError(f"malformed entry line: {line!r}")
+        r, c = int(parts[0]) - 1, int(parts[1]) - 1
+        v = 1.0 if field == "pattern" else float(parts[2])
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+
+    return _expand_symmetry((nrows, ncols), rows, cols, vals, symmetry)
+
+
+def _next_data_line(stream: TextIO):
+    """Next non-comment, non-blank line stripped of whitespace, or None."""
+    for line in stream:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            return stripped
+    return None
+
+
+def _expand_symmetry(shape: Tuple[int, int], rows, cols, vals,
+                     symmetry: str) -> COOMatrix:
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if symmetry == "general":
+        return COOMatrix(shape, rows, cols, vals)
+    off = rows != cols
+    sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+    rows_full = np.concatenate([rows, cols[off]])
+    cols_full = np.concatenate([cols, rows[off]])
+    vals_full = np.concatenate([vals, sign * vals[off]])
+    return COOMatrix(shape, rows_full, cols_full, vals_full)

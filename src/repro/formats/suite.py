@@ -1,0 +1,154 @@
+"""The Table IX evaluation suite as deterministic synthetic stand-ins.
+
+The paper evaluates on 26 matrices from SuiteSparse and SNAP (Table IX).
+This module records each matrix's published dimension, density and kernel
+assignment, and regenerates a pattern-class-matched synthetic matrix for it
+(see :mod:`repro.formats.generators` for why the classes preserve the
+behaviour pSyncPIM is sensitive to).
+
+Every entry supports a ``scale`` factor that shrinks the dimension while
+preserving the *mean row population* (``density * n``), because per-bank
+workload in pSyncPIM is governed by nonzeros per row/partition rather than by
+absolute dimension; CI and the benchmark harness run at small scales, and
+``scale=1.0`` reproduces paper-size operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from . import generators as gen
+from .coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One Table IX row: published metadata plus our generator class."""
+
+    name: str
+    dimension: int
+    density: float
+    #: Kernel/application assignment from Table IX's last column.
+    applications: Tuple[str, ...]
+    #: Generator pattern class (see module docstring).
+    kind: str
+    seed: int
+
+    @property
+    def mean_row_nnz(self) -> float:
+        """Average stored entries per row implied by the published density."""
+        return self.density * self.dimension
+
+    @property
+    def nnz_estimate(self) -> int:
+        """Approximate total nonzeros implied by the published density."""
+        return int(round(self.density * self.dimension * self.dimension))
+
+
+def _spec(name: str, dim: int, density: float, apps: str, kind: str,
+          seed: int) -> MatrixSpec:
+    return MatrixSpec(name, dim, density, tuple(apps.split()), kind, seed)
+
+
+#: Table IX, in paper order. Application tags: ``spmv`` (Fig. 8), ``sptrsv``
+#: (Fig. 9 and P-BiCGStab), ``pcg`` (P-CG), ``graphs`` (graph apps).
+TABLE_IX: Dict[str, MatrixSpec] = {spec.name: spec for spec in (
+    _spec("2cubes_sphere", 101492, 1.60e-5, "sptrsv pcg", "stencil3d", 11),
+    _spec("amazon0312", 400727, 1.99e-5, "graphs", "powerlaw", 12),
+    _spec("bcsstk32", 44609, 1.01e-3, "spmv", "fem", 13),
+    _spec("ca-CondMat", 23133, 3.49e-4, "graphs", "powerlaw", 14),
+    _spec("cant", 62451, 1.03e-3, "spmv", "fem", 15),
+    _spec("consph", 83334, 8.66e-4, "spmv", "fem", 16),
+    _spec("crankseg_2", 63838, 3.47e-3, "spmv", "fem", 17),
+    _spec("ct20stif", 52329, 9.50e-4, "spmv", "fem", 18),
+    _spec("email-Enron", 36692, 2.73e-4, "graphs", "powerlaw", 19),
+    _spec("facebook", 4039, 5.41e-3, "graphs", "powerlaw", 20),
+    _spec("lhr71", 70304, 3.02e-4, "spmv", "random", 21),
+    _spec("offshore", 259789, 6.29e-5, "sptrsv pcg", "stencil3d", 22),
+    _spec("ohne2", 181343, 2.09e-4, "spmv", "random", 23),
+    _spec("p2p-Gnutella31", 62586, 3.62e-5, "graphs", "rmat", 24),
+    _spec("parabolic_fem", 525825, 1.33e-5, "sptrsv pcg", "stencil2d", 25),
+    _spec("pdb1HYS", 36417, 3.28e-3, "spmv", "fem", 26),
+    _spec("poisson3Da", 13514, 1.93e-3, "sptrsv", "stencil3d", 27),
+    _spec("pwtk", 217918, 2.43e-4, "spmv", "fem", 28),
+    _spec("rma10", 46835, 1.06e-3, "spmv sptrsv", "fem", 29),
+    _spec("roadNet-CA", 1971281, 1.42e-6, "graphs", "mesh", 30),
+    _spec("shipsec1", 140874, 1.80e-4, "spmv", "fem", 31),
+    _spec("soc-sign-epinions", 131828, 4.84e-5, "spmv", "rmat", 32),
+    _spec("Stanford", 281903, 2.90e-5, "spmv graphs", "powerlaw", 33),
+    _spec("webbase-1M", 1000005, 3.11e-6, "spmv", "rmat", 34),
+    _spec("wiki-Vote", 8297, 1.51e-3, "graphs", "powerlaw", 35),
+    _spec("xenon2", 157464, 1.56e-4, "spmv", "fem", 36),
+)}
+
+
+def suite_names() -> Tuple[str, ...]:
+    """All 26 matrix names in Table IX order."""
+    return tuple(TABLE_IX)
+
+
+def matrix_spec(name: str) -> MatrixSpec:
+    """Look up a Table IX entry; raises :class:`FormatError` if unknown."""
+    try:
+        return TABLE_IX[name]
+    except KeyError:
+        raise FormatError(f"unknown suite matrix {name!r}; see suite_names()"
+                          ) from None
+
+
+def matrices_for(tag: str) -> Tuple[str, ...]:
+    """Names of matrices whose Table IX assignment includes *tag*."""
+    if tag not in {"spmv", "sptrsv", "pcg", "graphs"}:
+        raise FormatError(f"unknown application tag {tag!r}")
+    return tuple(name for name, spec in TABLE_IX.items()
+                 if tag in spec.applications)
+
+
+def generate(name: str, scale: float = 1.0) -> COOMatrix:
+    """Regenerate the synthetic stand-in for Table IX matrix *name*.
+
+    ``scale`` shrinks the dimension (min 64 rows) while holding the mean row
+    population constant; ``scale=1.0`` reproduces the published dimension.
+    Matrices tagged ``sptrsv``/``pcg`` are made symmetric positive definite
+    so the solvers they feed are well posed.
+    """
+    spec = matrix_spec(name)
+    if scale <= 0:
+        raise FormatError("scale must be positive")
+    n = max(64, int(round(spec.dimension * scale)))
+    mean_row = max(spec.mean_row_nnz, 1.0)
+    matrix = _generate_kind(spec, n, mean_row)
+    if "sptrsv" in spec.applications or "pcg" in spec.applications:
+        matrix = gen.make_spd(matrix)
+    return matrix
+
+
+def _generate_kind(spec: MatrixSpec, n: int, mean_row: float) -> COOMatrix:
+    if spec.kind == "stencil2d":
+        side = max(8, int(round(math.sqrt(n))))
+        return gen.stencil_2d(side, side)
+    if spec.kind == "stencil3d":
+        side = max(4, int(round(n ** (1.0 / 3.0))))
+        return gen.stencil_3d(side, side, side)
+    if spec.kind == "mesh":
+        # Road networks: near-planar, uniform low degree, huge diameter —
+        # structurally a jittered grid.
+        side = max(8, int(round(math.sqrt(n))))
+        grid = gen.stencil_2d(side, side)
+        off = grid.select(grid.rows != grid.cols)
+        return COOMatrix(grid.shape, off.rows, off.cols,
+                         np.ones(off.nnz), check=False)
+    if spec.kind == "fem":
+        return gen.banded_fem(n, avg_row_nnz=mean_row, seed=spec.seed)
+    if spec.kind == "powerlaw":
+        return gen.power_law_graph(n, avg_degree=mean_row, seed=spec.seed)
+    if spec.kind == "rmat":
+        return gen.rmat(n, nnz=int(n * mean_row), seed=spec.seed)
+    if spec.kind == "random":
+        return gen.uniform_random(n, n, density=mean_row / n, seed=spec.seed)
+    raise FormatError(f"unknown generator kind {spec.kind!r}")

@@ -1,0 +1,16 @@
+"""The pSyncPIM instruction set: opcodes, encodings, programs, assembler."""
+
+from .opcodes import (BinaryOp, Identity, Opcode, Operand, SetMode,
+                      SubQueue, ValueFormat)
+from .instructions import BInstruction, CInstruction, Instruction
+from .encoding import (INSTRUCTION_BYTES, decode, decode_bytes, encode,
+                       encode_bytes)
+from .program import MAX_INSTRUCTIONS, Program
+from .assembler import assemble
+
+__all__ = [
+    "BinaryOp", "Identity", "Opcode", "Operand", "SetMode", "SubQueue",
+    "ValueFormat", "BInstruction", "CInstruction", "Instruction",
+    "INSTRUCTION_BYTES", "decode", "decode_bytes", "encode", "encode_bytes",
+    "MAX_INSTRUCTIONS", "Program", "assemble",
+]

@@ -1,0 +1,108 @@
+"""Instruction dataclasses for the two pSyncPIM formats.
+
+:class:`BInstruction` carries the binary-operation format fields and
+:class:`CInstruction` the control format fields of Fig. 5 / Table IV. Both
+validate their field ranges on construction so a malformed instruction can
+never reach the encoder or the processing unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import EncodingError
+from .opcodes import (BinaryOp, Identity, Opcode, Operand, SetMode, SubQueue,
+                      ValueFormat)
+
+
+@dataclass(frozen=True)
+class BInstruction:
+    """Binary-operation format: data movement and vector arithmetic."""
+
+    opcode: Opcode
+    dst: Operand = Operand.BANK
+    src0: Operand = Operand.BANK
+    src1: Operand = Operand.BANK
+    value: ValueFormat = ValueFormat.FP64
+    binary: BinaryOp = BinaryOp.ADD
+    set_mode: SetMode = SetMode.INTERSECTION
+    idx: SubQueue = SubQueue.ALL
+    idnt: Identity = Identity.ZERO
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_control:
+            raise EncodingError(
+                f"{self.opcode.name} is a control instruction; "
+                "use CInstruction")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.name
+
+    def __str__(self) -> str:
+        parts = [f"{self.mnemonic:<7} {self.dst.name}, {self.src0.name}, "
+                 f"{self.src1.name}"]
+        parts.append(f"value={self.value.name.lower()}")
+        if self.opcode.is_binary:
+            parts.append(f"binary={self.binary.name.lower()}")
+            parts.append(f"s={self.set_mode.name.lower()}")
+        if self.idx is not SubQueue.ALL:
+            parts.append(f"idx={self.idx.name.lower()}")
+        if self.idnt is not Identity.ZERO:
+            parts.append(f"idnt={self.idnt.name.lower()}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CInstruction:
+    """Control format: NOP, JUMP, EXIT and CEXIT.
+
+    ``imm0`` is the jump target (instruction slot), ``order`` distinguishes
+    nested loops (5-bit ORDER field, §IV-F), and ``imm1`` is the iteration
+    counter for JUMP or the SpVQ bitmask for CEXIT.
+    """
+
+    opcode: Opcode
+    imm0: int = 0
+    order: int = 0
+    imm1: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.opcode.is_control:
+            raise EncodingError(
+                f"{self.opcode.name} is not a control instruction")
+        if not 0 <= self.imm0 < 256:
+            raise EncodingError(f"imm0 {self.imm0} outside 8-bit range")
+        if not 0 <= self.order < 64:
+            raise EncodingError(f"order {self.order} outside 6-bit range")
+        if not 0 <= self.imm1 < 1024:
+            raise EncodingError(f"imm1 {self.imm1} outside 10-bit range")
+        if self.opcode is Opcode.JUMP and self.imm1 == 0:
+            raise EncodingError("JUMP requires a non-zero iteration count")
+        if self.opcode is Opcode.CEXIT and not 0 < self.imm1 < 8:
+            raise EncodingError("CEXIT requires a queue mask in [1, 7]")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.name
+
+    @property
+    def queue_mask(self) -> int:
+        """SpVQ mask watched by CEXIT (bit i = SpVQ i)."""
+        if self.opcode is not Opcode.CEXIT:
+            raise EncodingError("queue_mask is only defined for CEXIT")
+        return self.imm1
+
+    def __str__(self) -> str:
+        if self.opcode is Opcode.JUMP:
+            return (f"JUMP    @{self.imm0} order={self.order} "
+                    f"count={self.imm1}")
+        if self.opcode is Opcode.CEXIT:
+            queues = ",".join(f"SPVQ{i}" for i in range(3)
+                              if self.imm1 & (1 << i))
+            return f"CEXIT   {queues}"
+        return self.mnemonic
+
+
+Instruction = Union[BInstruction, CInstruction]

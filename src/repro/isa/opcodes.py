@@ -1,0 +1,155 @@
+"""Opcode and operand-field vocabularies of the pSyncPIM ISA.
+
+The ISA has 15 instructions in two 32-bit formats (paper Fig. 5, Tables
+IV-VI): four control instructions (C format) and eleven data-movement /
+binary-operation instructions (B format). This module defines the symbolic
+enumerations; bit-level packing lives in :mod:`repro.isa.encoding`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """The 15 pSyncPIM instructions (4-bit opcode space)."""
+
+    # control (C format)
+    NOP = 0
+    JUMP = 1
+    EXIT = 2
+    CEXIT = 3      # conditional exit: terminate when chosen SpVQs are empty
+    # data movement (B format, Table V)
+    DMOV = 4       # dense vector bank <-> DRF
+    INDMOV = 5     # scalar read from the bank at the column a SpVQ points to
+    SPMOV = 6      # sparse sub-queue bank <-> SpVQ
+    SPFW = 7       # force-write sparse vectors to the bank
+    GTHSCT = 8     # gather/scatter between dense and sparse vectors
+    # binary operations (B format, Table VI)
+    SDV = 9        # scalar (.) dense vector
+    SSPV = 10      # scalar (.) sparse vector
+    REDUCE = 11    # iterated binary op: dense vector -> scalar
+    DVDV = 12      # element-wise dense (.) dense
+    SPVDV = 13     # sparse (.) dense
+    SPVSPV = 14    # element-wise sparse (.) sparse
+
+    @property
+    def is_control(self) -> bool:
+        return self in (Opcode.NOP, Opcode.JUMP, Opcode.EXIT, Opcode.CEXIT)
+
+    @property
+    def is_movement(self) -> bool:
+        return self in (Opcode.DMOV, Opcode.INDMOV, Opcode.SPMOV,
+                        Opcode.SPFW, Opcode.GTHSCT)
+
+    @property
+    def is_binary(self) -> bool:
+        return self in (Opcode.SDV, Opcode.SSPV, Opcode.REDUCE,
+                        Opcode.DVDV, Opcode.SPVSPV, Opcode.SPVDV)
+
+
+class Operand(enum.IntEnum):
+    """Register/queue operand space for the 3-bit Dst/Src fields.
+
+    ``BANK`` designates the memory bank itself — sources read the currently
+    streamed column data, destinations write it back.
+    """
+
+    BANK = 0
+    SRF = 1     # 16 B scalar register
+    DRF0 = 2    # 32 B dense vector registers
+    DRF1 = 3
+    DRF2 = 4
+    SPVQ0 = 5   # 192 B sparse vector queues
+    SPVQ1 = 6
+    SPVQ2 = 7
+
+    @property
+    def is_dense_register(self) -> bool:
+        return self in (Operand.DRF0, Operand.DRF1, Operand.DRF2)
+
+    @property
+    def is_sparse_queue(self) -> bool:
+        return self in (Operand.SPVQ0, Operand.SPVQ1, Operand.SPVQ2)
+
+    @property
+    def queue_index(self) -> int:
+        """0..2 for SpVQ operands; raises for anything else."""
+        if not self.is_sparse_queue:
+            raise ValueError(f"{self.name} is not a sparse queue")
+        return int(self) - int(Operand.SPVQ0)
+
+    @property
+    def dense_index(self) -> int:
+        """0..2 for DRF operands; raises for anything else."""
+        if not self.is_dense_register:
+            raise ValueError(f"{self.name} is not a dense register")
+        return int(self) - int(Operand.DRF0)
+
+
+class ValueFormat(enum.IntEnum):
+    """The 4-bit Value field: element precision of the operation."""
+
+    INT8 = 0
+    INT16 = 1
+    INT32 = 2
+    INT64 = 3
+    FP16 = 4
+    FP32 = 5
+    FP64 = 6
+
+    @property
+    def precision(self) -> str:
+        """The :mod:`repro.config` precision name."""
+        return self.name.lower()
+
+
+class BinaryOp(enum.IntEnum):
+    """The 4-bit Binary field: the scalar operation the VALU applies.
+
+    Beyond +,-,x the set includes the semiring operators GraphBLAS-style
+    graph kernels need (min/plus for SSSP, or/and for BFS) — the paper's
+    Table VI leaves the binary operation arbitrary ("(.) is an arbitrary
+    binary operation").
+    """
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    MIN = 3
+    MAX = 4
+    LAND = 5    # logical and
+    LOR = 6     # logical or
+    FIRST = 7   # returns the left operand (copy/select)
+    SECOND = 8  # returns the right operand
+
+
+class SetMode(enum.IntEnum):
+    """The 1-bit S field: sparse index matching semantics (§IV-B)."""
+
+    INTERSECTION = 0
+    UNION = 1
+
+
+class SubQueue(enum.IntEnum):
+    """The 2-bit Idx field: which SpVQ sub-queue a movement touches."""
+
+    ROW = 0
+    COL = 1
+    VAL = 2
+    ALL = 3  # (row, col, value) tuples together — gather/scatter and loads
+
+
+class Identity(enum.IntEnum):
+    """The 2-bit Idnt field: identity element for gather/scatter."""
+
+    ZERO = 0
+    ONE = 1
+    POS_INF = 2
+    NEG_INF = 3
+
+    @property
+    def value_as_float(self) -> float:
+        return {Identity.ZERO: 0.0, Identity.ONE: 1.0,
+                Identity.POS_INF: float("inf"),
+                Identity.NEG_INF: float("-inf")}[self]

@@ -1,0 +1,110 @@
+"""PIM kernel programs: validated instruction sequences.
+
+A :class:`Program` is what the host writes into a processing unit's 128 B
+control register before switching to AB-PIM mode: at most 32 instructions
+(Table VIII). Validation enforces the structural rules the hardware relies
+on — in-range jump targets and one loop counter (ORDER value) per JUMP so
+the nested-loop counters of §IV-F stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import EncodingError
+from .encoding import INSTRUCTION_BYTES, decode, encode
+from .instructions import CInstruction, Instruction
+from .opcodes import Opcode
+
+MAX_INSTRUCTIONS = 32
+
+
+class Program:
+    """An immutable, validated PIM kernel program."""
+
+    __slots__ = ("name", "_instructions")
+
+    def __init__(self, instructions: Iterable[Instruction],
+                 name: str = "kernel") -> None:
+        self.name = name
+        self._instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, slot: int) -> Instruction:
+        return self._instructions[slot]
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self._instructions == other._instructions
+
+    __hash__ = None
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return self._instructions
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "Program":
+        """Enforce size, jump-target and loop-counter rules."""
+        if not self._instructions:
+            raise EncodingError("a program needs at least one instruction")
+        if len(self._instructions) > MAX_INSTRUCTIONS:
+            raise EncodingError(
+                f"program {self.name!r} has {len(self._instructions)} "
+                f"instructions; the control register holds "
+                f"{MAX_INSTRUCTIONS}")
+        orders = []
+        for slot, ins in enumerate(self._instructions):
+            if isinstance(ins, CInstruction) and ins.opcode is Opcode.JUMP:
+                if ins.imm0 >= len(self._instructions):
+                    raise EncodingError(
+                        f"slot {slot}: JUMP target {ins.imm0} outside "
+                        f"program of length {len(self._instructions)}")
+                orders.append(ins.order)
+        if len(orders) != len(set(orders)):
+            raise EncodingError(
+                "each JUMP needs a distinct ORDER value so its loop "
+                "counter is private (paper §IV-F)")
+        return self
+
+    @property
+    def has_terminator(self) -> bool:
+        """True when any EXIT or CEXIT is present."""
+        return any(isinstance(i, CInstruction)
+                   and i.opcode in (Opcode.EXIT, Opcode.CEXIT)
+                   for i in self._instructions)
+
+    # ------------------------------------------------------------------
+    def encode_words(self) -> List[int]:
+        """The program as 32-bit words, one per control-register slot."""
+        return [encode(i) for i in self._instructions]
+
+    def encode_bytes(self) -> bytes:
+        """The program as the little-endian byte image the host writes."""
+        return b"".join(
+            word.to_bytes(INSTRUCTION_BYTES, "little")
+            for word in self.encode_words())
+
+    @classmethod
+    def decode_words(cls, words: Sequence[int],
+                     name: str = "kernel") -> "Program":
+        """Rebuild a program from encoded words."""
+        return cls((decode(w) for w in words), name=name)
+
+    def disassemble(self) -> str:
+        """Human-readable listing with slot numbers."""
+        lines = [f"; program {self.name} ({len(self)} instructions)"]
+        for slot, ins in enumerate(self._instructions):
+            lines.append(f"{slot:>3}: {ins}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program(name={self.name!r}, length={len(self)})"

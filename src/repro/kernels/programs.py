@@ -1,0 +1,204 @@
+"""PIM assembly programs for every Table III kernel.
+
+Each builder returns a validated :class:`~repro.isa.Program` written in the
+pSyncPIM assembly of :mod:`repro.isa.assembler`, parameterised by the loop
+trip counts of the launch (beat groups, queue batch size). The matching beat
+streams live beside the drivers in this package — a program and its stream
+are a contract: the stream provides transactions in exactly the order the
+program's bank-access instructions consume them.
+"""
+
+from __future__ import annotations
+
+from ..isa import Program, assemble
+
+
+def dcopy_program(groups: int, precision: str = "fp64") -> Program:
+    """DCOPY: y <- x, one 32 B group per iteration."""
+    return assemble(f"""
+    ; stream x through DRF0 into y
+loop:
+    DMOV DRF0, BANK            value={precision}
+    DMOV BANK, DRF0            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name="dcopy")
+
+
+def dswap_program(groups: int, precision: str = "fp64") -> Program:
+    """DSWAP: x <-> y via two dense registers."""
+    return assemble(f"""
+loop:
+    DMOV DRF0, BANK            value={precision}
+    DMOV DRF1, BANK            value={precision}
+    DMOV BANK, DRF1            value={precision}
+    DMOV BANK, DRF0            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name="dswap")
+
+
+def dscal_program(groups: int, precision: str = "fp64") -> Program:
+    """DSCAL: x <- alpha * x (alpha pre-broadcast into SRF)."""
+    return assemble(f"""
+loop:
+    SDV  DRF0, SRF, BANK       value={precision} binary=mul
+    DMOV BANK, DRF0            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name="dscal")
+
+
+def daxpy_program(groups: int, precision: str = "fp64") -> Program:
+    """DAXPY: y <- alpha*x + y."""
+    return assemble(f"""
+loop:
+    SDV  DRF0, SRF, BANK       value={precision} binary=mul
+    DVDV DRF1, DRF0, BANK      value={precision} binary=add
+    DMOV BANK, DRF1            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name="daxpy")
+
+
+def ddot_program(groups: int, precision: str = "fp64") -> Program:
+    """DDOT partial: SRF accumulates sum(x_i * y_i) over this bank's chunk.
+
+    The SRF must be pre-broadcast to 0; the host reduces per-bank partials.
+    """
+    return assemble(f"""
+loop:
+    DMOV   DRF0, BANK          value={precision}
+    DVDV   DRF1, DRF0, BANK    value={precision} binary=mul
+    REDUCE SRF, DRF1           value={precision} binary=add
+    JUMP   loop order=0 count={groups}
+    EXIT
+""", name="ddot")
+
+
+def elementwise_program(groups: int, binary: str,
+                        precision: str = "fp64") -> Program:
+    """z <- x (.) y for an arbitrary binary op (vector building block)."""
+    return assemble(f"""
+loop:
+    DMOV DRF0, BANK            value={precision}
+    DVDV DRF1, DRF0, BANK      value={precision} binary={binary}
+    DMOV BANK, DRF1            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name=f"elementwise_{binary}")
+
+
+def gather_program(groups: int, precision: str = "fp64",
+                   identity: str = "zero") -> Program:
+    """GATHER: sparse x_sp <- non-identity elements of dense y_d."""
+    return assemble(f"""
+loop:
+    GTHSCT SPVQ0, BANK         value={precision} idnt={identity}
+    SPMOV  BANK, SPVQ0         value={precision}
+    JUMP   loop order=0 count={groups}
+    EXIT
+""", name="gather")
+
+
+def scatter_program(groups: int, precision: str = "fp64") -> Program:
+    """SCATTER: dense y_d[idx] <- x_sp values."""
+    return assemble(f"""
+loop:
+    SPMOV  SPVQ0, BANK         value={precision}
+    GTHSCT BANK, SPVQ0         value={precision}
+    JUMP   loop order=0 count={groups}
+    CEXIT  SPVQ0
+""", name="scatter")
+
+
+def spaxpy_program(groups: int, batch: int,
+                   precision: str = "fp64") -> Program:
+    """SpAXPY: y_d <- alpha * x_sp + y_d (alpha in SRF)."""
+    return assemble(f"""
+outer:
+    SPMOV SPVQ0, BANK          value={precision}
+inner:
+    SSPV  SPVQ1, SRF, SPVQ0    value={precision} binary=mul
+    SPVDV BANK, SPVQ1          value={precision} binary=add
+    JUMP  inner order=0 count={batch}
+    JUMP  outer order=1 count={groups}
+    CEXIT SPVQ0|SPVQ1
+""", name="spaxpy")
+
+
+def spdot_program(groups: int, batch: int,
+                  precision: str = "fp64") -> Program:
+    """SpDOT partial: SRF accumulates x_sp . y_d over this bank's chunk."""
+    return assemble(f"""
+outer:
+    SPMOV  SPVQ0, BANK         value={precision}
+inner:
+    SPVDV  SPVQ1, SPVQ0, BANK  value={precision} binary=mul
+    REDUCE SRF, SPVQ1          value={precision} binary=add
+    JUMP   inner order=0 count={batch}
+    JUMP   outer order=1 count={groups}
+    CEXIT  SPVQ0|SPVQ1
+""", name="spdot")
+
+
+def spmv_program(outer: int, loads: int, batch: int,
+                 accumulate: str = "add",
+                 precision: str = "fp64") -> Program:
+    """SpMV tile kernel: Algorithm 2 in batch-phased form.
+
+    Per outer iteration the unit (1) streams *loads* beat groups of COO
+    elements into SpVQ0, (2) gathers x[col] and multiplies element-wise
+    into SpVQ1, (3) scatter-accumulates SpVQ1 into the output tile with the
+    *accumulate* operation (``add`` for SpMV, ``sub`` for the SpTRSV level
+    kernel, ``min``/``lor`` for semiring variants).
+
+    Phase batching keeps one memory row open per phase instead of
+    thrashing rows per element — the schedule the paper's row-size
+    constraint (§V) is designed around.
+    """
+    return assemble(f"""
+outer:
+load:
+    SPMOV  SPVQ0, BANK         value={precision}
+    JUMP   load order=0 count={loads}
+gather:
+    INDMOV SRF, BANK, SPVQ0    value={precision}
+    SSPV   SPVQ1, SRF, SPVQ0   value={precision} binary=mul
+    JUMP   gather order=1 count={batch}
+scatter:
+    SPVDV  BANK, SPVQ1         value={precision} binary={accumulate}
+    JUMP   scatter order=2 count={batch}
+    CEXIT  SPVQ0|SPVQ1
+    JUMP   outer order=3 count={outer}
+    EXIT
+""", name="spmv")
+
+
+def dgemv_row_program(groups: int, precision: str = "fp64") -> Program:
+    """One DGEMV output row: SRF accumulates A[i,:] . x, then writes y[i]."""
+    return assemble(f"""
+loop:
+    DMOV   DRF0, BANK          value={precision}
+    DVDV   DRF1, DRF0, BANK    value={precision} binary=mul
+    REDUCE SRF, DRF1           value={precision} binary=add
+    JUMP   loop order=0 count={groups}
+    DMOV   BANK, SRF           value={precision}
+    EXIT
+""", name="dgemv_row")
+
+
+def dtrsv_update_program(groups: int, precision: str = "fp64") -> Program:
+    """One DTRSV column update: b_chunk <- b_chunk - scale * A[:, j]_chunk.
+
+    The column scale is pre-broadcast into SRF by the host.
+    """
+    return assemble(f"""
+loop:
+    SDV  DRF0, SRF, BANK       value={precision} binary=mul
+    DMOV DRF1, BANK            value={precision}
+    DVDV DRF2, DRF1, DRF0      value={precision} binary=sub
+    DMOV BANK, DRF2            value={precision}
+    JUMP loop order=0 count={groups}
+    EXIT
+""", name="dtrsv_update")

@@ -1,0 +1,19 @@
+"""Processing units, bank memory and the all-bank lock-step engine."""
+
+from .memory import (PADDING_INDEX, BankMemory, DenseRegion, TripleRegion,
+                     padded_triples)
+from .registers import DenseRegister, RegisterFile, SparseQueue
+from .beat import Beat
+from .unit import ProcessingUnit, UnitStats, uses_bank
+from .engine import AllBankEngine, EngineStats, Mode
+from .verify import (BeatSlot, beat_signature, check_stream_length,
+                     expected_beats)
+from . import alu
+
+__all__ = [
+    "PADDING_INDEX", "BankMemory", "DenseRegion", "TripleRegion",
+    "padded_triples", "DenseRegister", "RegisterFile", "SparseQueue",
+    "Beat", "ProcessingUnit", "UnitStats", "uses_bank", "AllBankEngine",
+    "EngineStats", "Mode", "alu", "BeatSlot", "beat_signature",
+    "check_stream_length", "expected_beats",
+]

@@ -1,0 +1,34 @@
+"""Beats: the functional face of broadcast memory transactions.
+
+In AB-PIM mode every memory transaction the host issues is broadcast to all
+banks and advances each processing unit to (and through) its next
+bank-access instruction (paper Fig. 1). The functional tier represents one
+such transaction as a :class:`Beat`: the named region it streams and the
+beat-group index within it. The timing tier independently expands the same
+transaction stream into physical ACT/RD/WR command traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Beat:
+    """One broadcast memory transaction in AB-PIM mode.
+
+    ``region`` names the bank region the transaction streams; ``index`` is
+    the beat-group ordinal within that region (each group is one 32 B
+    datapath beat). ``write`` distinguishes WR-driven from RD-driven
+    execution steps. Instructions that compute their own column (IndMOV,
+    scatter stores) ignore ``index`` — that is exactly the limited
+    divergence pSyncPIM permits: same open row, per-unit column.
+    """
+
+    region: str
+    index: int = 0
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("beat index must be non-negative")

@@ -1,0 +1,517 @@
+"""The pSyncPIM processing unit: a predicated, lock-step interpreter.
+
+One :class:`ProcessingUnit` sits next to one bank (Fig. 4). The host drives
+it with broadcast memory transactions (:class:`~repro.pim.beat.Beat`); on
+each transaction the unit executes instructions from its program counter up
+to and including the next *bank-access* instruction, which consumes the
+transaction. Register-to-register and control instructions execute between
+transactions (they cost PU cycles, not memory commands).
+
+Divergence is allowed exactly where the paper allows it:
+
+* **Predication** (§IV-E): an instruction whose queue operand is empty (or
+  whose data is `-1` padding) degrades to a NOP — the unit stays in lock
+  step but performs no architectural change.
+* **Per-unit columns**: IndMOV and scatter writes address the open row at a
+  unit-computed column, not the broadcast column.
+* **Conditional exit** (§IV-D): CEXIT terminates the unit once its stream
+  is exhausted and the watched queues are drained; an exited unit keeps
+  receiving transactions but never changes data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ProcessingUnitConfig
+from ..errors import ExecutionError
+from ..isa import (BInstruction, CInstruction, Opcode, Operand,
+                   Program)
+from . import alu
+from .beat import Beat
+from .memory import PADDING_INDEX, BankMemory
+from .registers import RegisterFile
+
+
+class UnitStats:
+    """Execution counters for one unit (feeds energy/utilisation models)."""
+
+    __slots__ = ("instructions", "alu_ops", "beats", "nop_beats")
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.alu_ops = 0
+        self.beats = 0
+        self.nop_beats = 0
+
+
+def uses_bank(ins: BInstruction) -> bool:
+    """Whether this instruction consumes a memory transaction.
+
+    Decided per opcode semantics rather than by scanning operand fields:
+    unused operand slots encode as BANK (value 0), so field scanning would
+    misclassify register-only instructions like Reduce.
+    """
+    op = ins.opcode
+    if op in (Opcode.INDMOV, Opcode.SPFW, Opcode.GTHSCT, Opcode.SPVDV):
+        return True
+    if op in (Opcode.SSPV, Opcode.REDUCE, Opcode.SPVSPV):
+        return False
+    if op in (Opcode.DMOV, Opcode.SPMOV):
+        return Operand.BANK in (ins.dst, ins.src0)
+    # SDV / DVDV stream their right-hand operand from the bank if asked.
+    return ins.src1 is Operand.BANK
+
+
+class ProcessingUnit:
+    """Functional model of one bank's processing unit."""
+
+    def __init__(self, memory: BankMemory,
+                 config: ProcessingUnitConfig = ProcessingUnitConfig(),
+                 precision: str = "fp64") -> None:
+        self.memory = memory
+        self.config = config
+        self.registers = RegisterFile(config, precision)
+        self.program: Optional[Program] = None
+        self.pc = 0
+        self.loop_counters: Dict[int, int] = {}
+        self.exited = False
+        #: Bitmask of SpVQs whose input stream ran out (saw padding or the
+        #: end of its region); CEXIT requires exhaustion (paper §V), and
+        #: SpVSpV union pass-through is only legal once the *other*
+        #: operand's stream has ended.
+        self.exhausted_mask = 0
+        #: Bitmask of SpVQs that are queue-load destinations in this
+        #: program (SpMOV/GthSct targets); CEXIT requires *their* streams
+        #: exhausted, ignoring compute-only queues in its watch mask.
+        self.load_targets_mask = 0
+        #: Per-region element cursors for queue streams: a unit that has
+        #: no queue room skips a load *without losing its place* and picks
+        #: the stream up on a later transaction (§IV-E: "units capable of
+        #: pushing 32 B data to the queue execute the load"). Store
+        #: cursors compact queue pops densely into their output region.
+        self.cursors: Dict[str, int] = {}
+        self.stats = UnitStats()
+
+    # ------------------------------------------------------------------
+    # host-side control
+    # ------------------------------------------------------------------
+    def load_program(self, program: Program,
+                     reset_registers: bool = True) -> None:
+        """Program the control register (host AB-mode write)."""
+        if len(program) > self.config.instruction_slots:
+            raise ExecutionError("program exceeds the control register")
+        self.program = program
+        self.arm(reset_registers=reset_registers)
+
+    def arm(self, reset_registers: bool = False) -> None:
+        """Reset control flow for a new kernel launch.
+
+        Register/queue contents survive by default so multi-pass kernels
+        can resume; a full reset mimics a fresh mode switch.
+        """
+        self.pc = 0
+        self.loop_counters.clear()
+        self.exited = False
+        self.exhausted_mask = 0
+        self.load_targets_mask = 0
+        if reset_registers:
+            self.registers.reset()
+            self.cursors.clear()
+
+    # ------------------------------------------------------------------
+    # transaction-driven execution
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once any input stream this unit consumes has ended."""
+        return self.exhausted_mask != 0
+
+    def consume_beat(self, beat: Beat) -> None:
+        """Advance through the program until one instruction uses the bank.
+
+        Exited units ignore the transaction entirely (they still receive
+        it; the data path is simply inert).
+        """
+        if self.program is None:
+            raise ExecutionError("no program loaded")
+        if self.exited:
+            self.stats.nop_beats += 1
+            return
+        budget = 4 * len(self.program) + 8
+        while budget:
+            budget -= 1
+            if self.pc >= len(self.program):
+                # Falling off the end terminates the unit (implicit EXIT).
+                self.exited = True
+                self.stats.nop_beats += 1
+                return
+            instruction = self.program[self.pc]
+            self.stats.instructions += 1
+            if isinstance(instruction, CInstruction):
+                self._execute_control(instruction)
+                if self.exited:
+                    self.stats.nop_beats += 1
+                    return
+                continue
+            needs_beat = uses_bank(instruction)
+            self._execute_b(instruction, beat if needs_beat else None)
+            self.pc += 1
+            if needs_beat:
+                self.stats.beats += 1
+                return
+        raise ExecutionError(
+            "program made no bank access within its step budget; "
+            "kernel loops must contain a bank-access instruction")
+
+    def flush_control(self) -> None:
+        """Retire trailing non-bank instructions after the stream ends.
+
+        Register-to-register operations and control instructions need no
+        memory transaction, so a unit sitting on a final Reduce/JUMP/EXIT
+        sequence terminates during the host's completion poll. Execution
+        stops at the first instruction that would need the bank.
+        """
+        if self.program is None or self.exited:
+            return
+        budget = 4 * len(self.program) + 8
+        while budget and not self.exited:
+            budget -= 1
+            if self.pc >= len(self.program):
+                self.exited = True
+                return
+            instruction = self.program[self.pc]
+            if isinstance(instruction, CInstruction):
+                self.stats.instructions += 1
+                self._execute_control(instruction)
+                continue
+            if uses_bank(instruction):
+                return
+            self.stats.instructions += 1
+            self._execute_b(instruction, None)
+            self.pc += 1
+
+    # ------------------------------------------------------------------
+    # control instructions
+    # ------------------------------------------------------------------
+    def _execute_control(self, ins: CInstruction) -> None:
+        if ins.opcode is Opcode.NOP:
+            self.pc += 1
+        elif ins.opcode is Opcode.EXIT:
+            self.exited = True
+        elif ins.opcode is Opcode.CEXIT:
+            watched_inputs = self.load_targets_mask & ins.queue_mask
+            if watched_inputs:
+                streams_done = ((self.exhausted_mask & watched_inputs)
+                                == watched_inputs)
+            else:
+                streams_done = self.exhausted
+            if streams_done                     and self.registers.queues_empty(ins.queue_mask):
+                self.exited = True
+            else:
+                self.pc += 1
+        elif ins.opcode is Opcode.JUMP:
+            taken = self.loop_counters.get(ins.order, 0) + 1
+            if taken < ins.imm1:
+                self.loop_counters[ins.order] = taken
+                self.pc = ins.imm0
+            else:
+                self.loop_counters[ins.order] = 0
+                self.pc += 1
+        else:  # pragma: no cover - enum is closed
+            raise ExecutionError(f"unhandled control {ins.opcode}")
+
+    # ------------------------------------------------------------------
+    # B-format dispatch
+    # ------------------------------------------------------------------
+    def _execute_b(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        handler = {
+            Opcode.DMOV: self._dmov,
+            Opcode.INDMOV: self._indmov,
+            Opcode.SPMOV: self._spmov,
+            Opcode.SPFW: self._spfw,
+            Opcode.GTHSCT: self._gthsct,
+            Opcode.SDV: self._sdv,
+            Opcode.SSPV: self._sspv,
+            Opcode.REDUCE: self._reduce,
+            Opcode.DVDV: self._dvdv,
+            Opcode.SPVDV: self._spvdv,
+            Opcode.SPVSPV: self._spvspv,
+        }[ins.opcode]
+        handler(ins, beat)
+
+    # -- data movement --------------------------------------------------
+    def _dmov(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if ins.dst.is_dense_register and ins.src0 is Operand.BANK:
+            region = self.memory.dense(beat.region)
+            rf.dense[ins.dst.dense_index].load(
+                region.read(beat.index * rf.lanes, rf.lanes))
+        elif ins.dst is Operand.BANK and ins.src0.is_dense_register:
+            region = self.memory.dense(beat.region)
+            region.write(beat.index * rf.lanes,
+                         rf.dense[ins.src0.dense_index].data)
+        elif ins.dst is Operand.SRF and ins.src0 is Operand.BANK:
+            region = self.memory.dense(beat.region)
+            rf.scalar = region.read_scalar(beat.index)
+        elif ins.dst is Operand.BANK and ins.src0 is Operand.SRF:
+            region = self.memory.dense(beat.region)
+            region.write(beat.index, np.array([rf.scalar]))
+        elif ins.dst.is_dense_register and ins.src0.is_dense_register:
+            rf.dense[ins.dst.dense_index].data[:] = (
+                rf.dense[ins.src0.dense_index].data)
+        else:
+            raise ExecutionError(
+                f"DMOV {ins.dst.name} <- {ins.src0.name} is not a legal "
+                "combination")
+
+    def _indmov(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        """Scalar read at the column the source SpVQ's head points to."""
+        rf = self.registers
+        if ins.dst is not Operand.SRF or ins.src0 is not Operand.BANK \
+                or not ins.src1.is_sparse_queue:
+            raise ExecutionError("IndMOV form is SRF <- BANK[SpVQ.col]")
+        queue = rf.queues[ins.src1.queue_index]
+        if queue.is_empty:
+            return  # predicated NOP: nothing to point with
+        _, col, _ = queue.peek()
+        if col == PADDING_INDEX:
+            return
+        region = self.memory.dense(beat.region)
+        rf.scalar = region.read_scalar(col)
+
+    def _spmov(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if ins.dst.is_sparse_queue and ins.src0 is Operand.BANK:
+            queue = rf.queues[ins.dst.queue_index]
+            bit = 1 << ins.dst.queue_index
+            self.load_targets_mask |= bit
+            if queue.room < rf.group_size:
+                return  # predicated NOP: no room, keep the stream place
+            region = self.memory.triples(beat.region)
+            cursor = self.cursors.get(beat.region, 0)
+            if cursor % rf.group_size:
+                raise ExecutionError("queue stream cursor misaligned")
+            rows, cols, vals = region.read_group(cursor // rf.group_size,
+                                                 rf.group_size)
+            self.cursors[beat.region] = cursor + rf.group_size
+            if rows.size < rf.group_size:
+                self.exhausted_mask |= bit
+            if cursor + rows.size >= len(region):
+                self.exhausted_mask |= bit
+            for r, c, v in zip(rows, cols, vals):
+                if r == PADDING_INDEX:
+                    self.exhausted_mask |= bit
+                    continue
+                queue.push(int(r), int(c), float(v))
+        elif ins.dst is Operand.BANK and ins.src0.is_sparse_queue:
+            queue = rf.queues[ins.src0.queue_index]
+            items = queue.pop_up_to(rf.group_size)
+            if items:
+                rows, cols, vals = (np.asarray(seq) for seq in zip(*items))
+                region = self.memory.triples(beat.region)
+                cursor = self.cursors.get(beat.region, 0)
+                region.write_elements(cursor,
+                                      rows.astype(np.int64),
+                                      cols.astype(np.int64),
+                                      vals.astype(np.float64))
+                self.cursors[beat.region] = cursor + len(items)
+        else:
+            raise ExecutionError("SpMOV moves between a SpVQ and the bank")
+
+    def _spfw(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        """Force-write: drain the whole queue to the bank at once."""
+        rf = self.registers
+        if ins.dst is not Operand.BANK or not ins.src0.is_sparse_queue:
+            raise ExecutionError("SpFW form is BANK <- SpVQ")
+        queue = rf.queues[ins.src0.queue_index]
+        items = queue.pop_up_to(queue.capacity)
+        if items:
+            rows, cols, vals = (np.asarray(seq) for seq in zip(*items))
+            region = self.memory.triples(beat.region)
+            cursor = self.cursors.get(beat.region, 0)
+            region.write_elements(cursor,
+                                  rows.astype(np.int64),
+                                  cols.astype(np.int64),
+                                  vals.astype(np.float64))
+            self.cursors[beat.region] = cursor + len(items)
+
+    def _gthsct(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        identity_value = ins.idnt.value_as_float
+        if ins.dst.is_sparse_queue and ins.src0 is Operand.BANK:
+            # gather: dense window -> sparse triples (index, index, value).
+            # Windows are group-sized so a fully dense window still fits
+            # the queue (narrow formats have more lanes than queue slots).
+            region = self.memory.dense(beat.region)
+            base = beat.index * rf.group_size
+            window = region.read(base, rf.group_size)
+            queue = rf.queues[ins.dst.queue_index]
+            self.load_targets_mask |= 1 << ins.dst.queue_index
+            for lane, value in enumerate(window):
+                if value != identity_value:
+                    queue.push(base + lane, base + lane, float(value))
+            if base + rf.group_size >= len(region):
+                self.exhausted_mask |= 1 << ins.dst.queue_index
+        elif ins.dst is Operand.BANK and ins.src0.is_sparse_queue:
+            # scatter: triples -> dense region at their own indices
+            region = self.memory.dense(beat.region)
+            queue = rf.queues[ins.src0.queue_index]
+            for row, _, value in queue.pop_up_to(rf.group_size):
+                if 0 <= row < len(region):
+                    region.data[row] = value
+        else:
+            raise ExecutionError("GthSct transforms between BANK and a SpVQ")
+
+    # -- arithmetic ------------------------------------------------------
+    def _sdv(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if not ins.dst.is_dense_register or ins.src0 is not Operand.SRF:
+            raise ExecutionError("SDV form is DRF <- SRF (.) vector")
+        if ins.src1 is Operand.BANK:
+            region = self.memory.dense(beat.region)
+            operand = region.read(beat.index * rf.lanes, rf.lanes)
+        elif ins.src1.is_dense_register:
+            operand = rf.dense[ins.src1.dense_index].data
+        else:
+            raise ExecutionError("SDV vector operand must be DRF or BANK")
+        result = alu.apply(ins.binary, rf.scalar, operand)
+        rf.dense[ins.dst.dense_index].load(np.asarray(result, dtype=float))
+        self.stats.alu_ops += rf.lanes
+
+    def _sspv(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        """Scalar (.) one sparse element: pop src1, push to dst."""
+        rf = self.registers
+        if not ins.dst.is_sparse_queue or ins.src0 is not Operand.SRF \
+                or not ins.src1.is_sparse_queue:
+            raise ExecutionError("SSpV form is SpVQ <- SRF (.) SpVQ")
+        src = rf.queues[ins.src1.queue_index]
+        if src.is_empty:
+            return  # predicated NOP
+        row, col, value = src.pop()
+        result = float(alu.apply(ins.binary, rf.scalar, value))
+        rf.queues[ins.dst.queue_index].push(row, col, result)
+        self.stats.alu_ops += 1
+
+    def _reduce(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if ins.dst is not Operand.SRF:
+            raise ExecutionError("Reduce accumulates into SRF")
+        if ins.src0.is_dense_register:
+            values = rf.dense[ins.src0.dense_index].data
+            rf.scalar = alu.reduce_array(ins.binary, values, rf.scalar)
+            self.stats.alu_ops += values.size
+        elif ins.src0.is_sparse_queue:
+            items = rf.queues[ins.src0.queue_index].pop_up_to(rf.group_size)
+            values = np.array([v for _, _, v in items])
+            rf.scalar = alu.reduce_array(ins.binary, values, rf.scalar)
+            self.stats.alu_ops += values.size
+        else:
+            raise ExecutionError("Reduce source must be a DRF or SpVQ")
+
+    def _dvdv(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if not ins.dst.is_dense_register \
+                or not ins.src0.is_dense_register:
+            raise ExecutionError("DVDV form is DRF <- DRF (.) vector")
+        left = rf.dense[ins.src0.dense_index].data
+        if ins.src1 is Operand.BANK:
+            region = self.memory.dense(beat.region)
+            right = region.read(beat.index * rf.lanes, rf.lanes)
+        elif ins.src1.is_dense_register:
+            right = rf.dense[ins.src1.dense_index].data
+        else:
+            raise ExecutionError("DVDV right operand must be DRF or BANK")
+        result = alu.apply(ins.binary, left, right)
+        rf.dense[ins.dst.dense_index].load(np.asarray(result, dtype=float))
+        self.stats.alu_ops += rf.lanes
+
+    def _spvdv(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        rf = self.registers
+        if ins.dst is Operand.BANK and ins.src0.is_sparse_queue:
+            # scatter-accumulate one element into the open output row:
+            # bank[row] = bank[row] (.) value  — the unit computes the
+            # column itself (limited divergence under the broadcast beat).
+            src = rf.queues[ins.src0.queue_index]
+            if src.is_empty:
+                return  # predicated NOP (still consumed the transaction)
+            row, _, value = src.pop()
+            region = self.memory.dense(beat.region)
+            if 0 <= row < len(region):
+                region.data[row] = float(
+                    alu.apply(ins.binary, region.data[row], value))
+            self.stats.alu_ops += 1
+        elif ins.dst.is_sparse_queue and ins.src0.is_sparse_queue \
+                and ins.src1 is Operand.BANK:
+            # element (.) dense-at-its-own-index -> sparse result
+            src = rf.queues[ins.src0.queue_index]
+            if src.is_empty:
+                return
+            row, col, value = src.pop()
+            region = self.memory.dense(beat.region)
+            gathered = region.read_scalar(row)
+            rf.queues[ins.dst.queue_index].push(
+                row, col, float(alu.apply(ins.binary, value, gathered)))
+            self.stats.alu_ops += 1
+        else:
+            raise ExecutionError(
+                "SpVDV forms: BANK <- SpVQ (.) BANK (scatter) or "
+                "SpVQ <- SpVQ (.) BANK (gathered)")
+
+    def _spvspv(self, ins: BInstruction, beat: Optional[Beat]) -> None:
+        """Index-matched element-wise op between two sparse queues.
+
+        One comparison step per execution: inspects the heads of both
+        queues ordered by index, emits at most one result element. The S
+        field selects intersection (skip unmatched) or union (pass
+        unmatched through combined with the identity).
+        """
+        rf = self.registers
+        if not (ins.dst.is_sparse_queue and ins.src0.is_sparse_queue
+                and ins.src1.is_sparse_queue):
+            raise ExecutionError("SpVSpV operates on three sparse queues")
+        qa = rf.queues[ins.src0.queue_index]
+        qb = rf.queues[ins.src1.queue_index]
+        out = rf.queues[ins.dst.queue_index]
+        union_mode = bool(ins.set_mode)
+        ident = ins.idnt.value_as_float
+        if qa.is_empty and qb.is_empty:
+            return
+        if qa.is_empty or qb.is_empty:
+            # one stream is merely between batches unless its region has
+            # been fully consumed: stall (predicated NOP) until then, or
+            # the merge would emit an index its refill still holds
+            empty_bit = 1 << (ins.src0.queue_index if qa.is_empty
+                              else ins.src1.queue_index)
+            if not self.exhausted_mask & empty_bit:
+                return
+            if union_mode:
+                queue = qb if qa.is_empty else qa
+                row, col, value = queue.pop()
+                left, right = ((ident, value) if qa.is_empty
+                               else (value, ident))
+                out.push(row, col,
+                         float(alu.apply(ins.binary, left, right)))
+                self.stats.alu_ops += 1
+            else:
+                (qb if qa.is_empty else qa).pop()
+            return
+        ra, ca, va = qa.peek()
+        rb, cb, vb = qb.peek()
+        if ra == rb:
+            qa.pop()
+            qb.pop()
+            out.push(ra, ca, float(alu.apply(ins.binary, va, vb)))
+            self.stats.alu_ops += 1
+        elif ra < rb:
+            qa.pop()
+            if union_mode:
+                out.push(ra, ca, float(alu.apply(ins.binary, va, ident)))
+                self.stats.alu_ops += 1
+        else:
+            qb.pop()
+            if union_mode:
+                out.push(rb, cb, float(alu.apply(ins.binary, ident, vb)))
+                self.stats.alu_ops += 1

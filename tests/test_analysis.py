@@ -1,0 +1,75 @@
+"""Tests for repro.analysis — area model and report helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (TABLE_X, format_breakdown, format_table,
+                            geomean, normalised_series, table_x_model,
+                            unit_area)
+from repro.config import ProcessingUnitConfig
+
+
+class TestArea:
+    def test_calibrated_to_paper(self):
+        breakdown = unit_area()
+        assert breakdown.per_unit == pytest.approx(0.967, abs=1e-3)
+        assert breakdown.pe_total == pytest.approx(30.94, abs=0.05)
+        assert breakdown.die_total == pytest.approx(68.99, abs=0.05)
+
+    def test_table_x_entries(self):
+        assert TABLE_X["pSyncPIM"]["total_area"] == 68.99
+        assert TABLE_X["SpaceA"]["baseline"] == "HMC"
+        assert TABLE_X["Samsung HBM-PIM"]["pe_area"] == 22.8
+
+    def test_model_row(self):
+        row = table_x_model()
+        assert row["total_area_mm2"] == pytest.approx(
+            row["paper_total_area_mm2"], rel=0.01)
+
+    def test_area_scales_with_resources(self):
+        small = unit_area()
+        bigger = unit_area(dataclasses.replace(
+            ProcessingUnitConfig(), num_sparse_queues=6))
+        assert bigger.per_unit > small.per_unit
+        assert bigger.queues == pytest.approx(2 * small.queues)
+
+    def test_components_positive(self):
+        b = unit_area()
+        assert min(b.valu, b.registers, b.queues, b.control) > 0
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_geomean_errors(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["longer", 12.25]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_format_table_floatfmt(self):
+        text = format_table(["v"], [[3.14159]], floatfmt="{:.4f}")
+        assert "3.1416" in text
+
+    def test_format_breakdown_percentages(self):
+        text = format_breakdown(
+            {"app": {"spmv": 3.0, "vector": 1.0}},
+            classes=("spmv", "vector"))
+        assert "75.00" in text and "25.00" in text
+
+    def test_normalised_series(self):
+        series = normalised_series({"gpu": 2.0, "pim": 1.0}, "gpu")
+        assert series["pim"] == pytest.approx(2.0)
+        assert series["gpu"] == pytest.approx(1.0)

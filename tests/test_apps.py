@@ -1,0 +1,209 @@
+"""Tests for repro.apps — backends, graph applications and solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse.csgraph as csgraph
+
+from repro.apps import (GPUBackend, PIMBackend, bfs, connected_components,
+                        pagerank, pbicgstab, pcg, sssp, triangle_count)
+from repro.core import ildu
+from repro.formats import coo_to_scipy, generate
+from repro.formats.generators import (make_spd, power_law_graph,
+                                      uniform_random)
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate("wiki-Vote", scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def sgraph(graph):
+    return coo_to_scipy(graph).tocsr()
+
+
+@pytest.fixture()
+def gpu():
+    return GPUBackend(graphblast=True)
+
+
+@pytest.fixture()
+def pim():
+    return PIMBackend()
+
+
+class TestBackends:
+    def test_ledger_accumulates(self, pim, graph):
+        x = RNG.random(graph.shape[1])
+        pim.spmv(graph, x)
+        pim.dot(x, x)
+        assert pim.ledger["spmv"] > 0
+        assert pim.ledger["vector"] > 0
+        assert pim.calls["spmv"] == 1
+        assert pim.total_seconds == sum(pim.ledger.values())
+
+    def test_reset(self, pim, graph):
+        pim.spmv(graph, RNG.random(graph.shape[1]))
+        pim.reset()
+        assert pim.total_seconds == 0.0
+
+    def test_spmv_memoises_timing(self, pim, graph):
+        x = RNG.random(graph.shape[1])
+        pim.spmv(graph, x)
+        first = pim.ledger["spmv"]
+        pim.spmv(graph, x)
+        assert pim.ledger["spmv"] == pytest.approx(2 * first)
+
+    def test_backends_agree_numerically(self, gpu, pim, graph):
+        x = RNG.random(graph.shape[1])
+        np.testing.assert_allclose(gpu.spmv(graph, x), pim.spmv(graph, x),
+                                   rtol=1e-10)
+
+    def test_vector_ops(self, pim):
+        x, y = RNG.random(100), RNG.random(100)
+        np.testing.assert_allclose(pim.axpy(2.0, x, y), 2 * x + y)
+        np.testing.assert_allclose(pim.ewise(x, y, "max"), np.maximum(x, y))
+        np.testing.assert_allclose(pim.scale(3.0, x), 3 * x)
+        assert pim.dot(x, y) == pytest.approx(x @ y)
+        assert pim.norm(x) == pytest.approx(np.linalg.norm(x))
+
+    def test_gpu_vector_costs_more_with_graphblast(self, graph):
+        plain = GPUBackend(graphblast=False)
+        gb = GPUBackend(graphblast=True)
+        x = RNG.random(1000)
+        plain.dot(x, x)
+        gb.dot(x, x)
+        assert gb.ledger["vector"] > plain.ledger["vector"]
+
+    def test_fig13_offload_switch(self, graph):
+        onto_pim = PIMBackend(offload_spmv=True)
+        accel_only = PIMBackend(offload_spmv=False)
+        x = RNG.random(graph.shape[1])
+        onto_pim.spmv(graph, x)
+        accel_only.spmv(graph, x)
+        assert accel_only.ledger["spmv"] > onto_pim.ledger["spmv"]
+
+
+class TestGraphApps:
+    def test_bfs_matches_scipy(self, pim, graph, sgraph):
+        result = bfs(graph, 0, pim)
+        dist = csgraph.shortest_path(sgraph, method="D", unweighted=True,
+                                     indices=0)
+        expect = np.where(np.isinf(dist), -1.0, dist)
+        np.testing.assert_array_equal(result.value, expect)
+
+    def test_bfs_gpu_pim_same_answer(self, gpu, pim, graph):
+        a = bfs(graph, 3, gpu)
+        b = bfs(graph, 3, pim)
+        np.testing.assert_array_equal(a.value, b.value)
+        assert a.total_seconds > 0 and b.total_seconds > 0
+
+    def test_bfs_isolated_source(self, pim):
+        g = power_law_graph(50, 3, seed=1)
+        result = bfs(g, 0, pim)
+        assert result.value[0] == 0
+
+    def test_cc_matches_scipy(self, pim, graph, sgraph):
+        result = connected_components(graph, pim)
+        n_comp, _ = csgraph.connected_components(sgraph, directed=False)
+        assert len(set(result.value.tolist())) == n_comp
+
+    def test_pagerank_is_distribution(self, pim, graph):
+        result = pagerank(graph, pim, iterations=15)
+        assert result.value.sum() == pytest.approx(1.0)
+        assert np.all(result.value >= 0)
+
+    def test_pagerank_favours_hubs(self, pim):
+        # star graph: everyone points at vertex 0
+        import numpy as np
+        from repro.formats import COOMatrix
+        n = 20
+        star = COOMatrix((n, n), np.arange(1, n),
+                         np.zeros(n - 1, dtype=np.int64), np.ones(n - 1))
+        result = pagerank(star, pim)
+        assert np.argmax(result.value) == 0
+
+    def test_sssp_matches_scipy(self, pim, graph, sgraph):
+        result = sssp(graph, 0, pim)
+        dist = csgraph.shortest_path(sgraph, indices=0)
+        np.testing.assert_allclose(result.value, dist)
+
+    def test_triangle_count_matches_dense(self, pim, graph, sgraph):
+        result = triangle_count(graph, pim)
+        a = (sgraph + sgraph.T).astype(bool).astype(float).toarray()
+        np.fill_diagonal(a, 0)
+        expect = np.trace(a @ a @ a) / 6
+        assert result.value == expect
+
+    def test_breakdowns_populated(self, pim, graph):
+        result = pagerank(graph, pim, iterations=5)
+        assert result.breakdown["spmv"] > 0
+        assert result.breakdown["vector"] > 0
+        assert result.iterations == 5
+
+
+class TestSolvers:
+    @pytest.fixture(scope="class")
+    def system(self):
+        matrix = make_spd(uniform_random(250, 250, 0.02, seed=2))
+        x_true = np.random.default_rng(3).random(250)
+        return matrix, x_true, matrix.matvec(x_true)
+
+    def test_pcg_converges(self, pim, system):
+        matrix, x_true, b = system
+        result = pcg(matrix, b, pim, tol=1e-10)
+        assert result.value.converged
+        np.testing.assert_allclose(result.value.x, x_true, rtol=1e-6)
+
+    def test_pcg_faster_than_unpreconditioned_story(self, pim, system):
+        matrix, _, b = system
+        result = pcg(matrix, b, pim, tol=1e-10)
+        # the ILDU preconditioner must make CG converge well below n iters
+        assert result.iterations < matrix.shape[0] // 4
+
+    def test_pcg_breakdown_has_sptrsv(self, pim, system):
+        matrix, _, b = system
+        result = pcg(matrix, b, pim, tol=1e-8)
+        assert result.breakdown["sptrsv"] > 0
+        assert result.breakdown["spmv"] > 0
+        assert result.breakdown["vector"] > 0
+
+    def test_pbicgstab_converges(self, pim, system):
+        matrix, x_true, b = system
+        result = pbicgstab(matrix, b, pim, tol=1e-10)
+        assert result.value.converged
+        np.testing.assert_allclose(result.value.x, x_true, rtol=1e-6)
+
+    def test_pbicgstab_nonsymmetric(self, pim):
+        base = make_spd(uniform_random(150, 150, 0.03, seed=4))
+        # perturb off-diagonals to break symmetry but keep dominance
+        skew = uniform_random(150, 150, 0.005, seed=5)
+        from repro.formats import scipy_to_coo, coo_to_scipy
+        matrix = scipy_to_coo(coo_to_scipy(base)
+                              + 0.05 * coo_to_scipy(skew))
+        x_true = RNG.random(150)
+        b = matrix.matvec(x_true)
+        result = pbicgstab(matrix, b, pim, tol=1e-10, max_iterations=400)
+        assert result.value.residual < 1e-6
+
+    def test_pcg_zero_rhs(self, pim, system):
+        matrix, _, _ = system
+        result = pcg(matrix, np.zeros(matrix.shape[0]), pim)
+        assert result.value.converged
+        np.testing.assert_allclose(result.value.x, 0.0)
+
+    def test_shared_factors_reused(self, pim, system):
+        matrix, _, b = system
+        factors = ildu(matrix)
+        r1 = pcg(matrix, b, pim, factors=factors, tol=1e-8)
+        r2 = pcg(matrix, b, pim, factors=factors, tol=1e-8)
+        assert r1.iterations == r2.iterations
+
+    def test_gpu_pim_same_iterations(self, gpu, pim, system):
+        matrix, _, b = system
+        a = pcg(matrix, b, gpu, tol=1e-9)
+        c = pcg(matrix, b, pim, tol=1e-9)
+        assert a.iterations == c.iterations
+        np.testing.assert_allclose(a.value.x, c.value.x, rtol=1e-8)

@@ -1,0 +1,106 @@
+"""Tests for repro.baselines — GPU, SpaceA and SpGEMM-accelerator models."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import (GPUConfig, GPUModel, SpaceAConfig, SpaceAModel,
+                             SpGEMMAcceleratorConfig,
+                             SpGEMMAcceleratorModel)
+from repro.errors import ConfigError
+
+
+class TestGPUModel:
+    @pytest.fixture
+    def gpu(self):
+        return GPUModel()
+
+    def test_spmv_scales_with_nnz(self, gpu):
+        small = gpu.spmv_seconds(10_000, 10_000, 50_000)
+        large = gpu.spmv_seconds(10_000, 10_000, 5_000_000)
+        assert large > 5 * small
+
+    def test_spmv_launch_floor(self, gpu):
+        tiny = gpu.spmv_seconds(100, 100, 200)
+        assert tiny >= gpu.config.kernel_launch_s
+
+    def test_l2_spill_increases_gather_cost(self, gpu):
+        fits = gpu.spmv_seconds(100_000, 100_000, 10_000_000)
+        spills = gpu.spmv_seconds(2_000_000, 2_000_000, 10_000_000)
+        assert spills > fits
+
+    def test_narrow_precision_does_not_help_gpu(self, gpu):
+        fp64 = gpu.spmv_seconds(10_000, 10_000, 500_000, precision="fp64")
+        int8 = gpu.spmv_seconds(10_000, 10_000, 500_000, precision="int8")
+        assert int8 >= 0.5 * fp64  # floor at fp32 operand width
+
+    def test_sptrsv_level_dominated(self, gpu):
+        few = gpu.sptrsv_seconds(10_000, 50_000, num_levels=10)
+        many = gpu.sptrsv_seconds(10_000, 50_000, num_levels=1000)
+        assert many > 10 * few
+
+    def test_graphblast_overhead(self, gpu):
+        plain = gpu.dense_vector_seconds(100_000)
+        gb = gpu.dense_vector_seconds(100_000, graphblast=True)
+        assert gb == pytest.approx(plain * gpu.config.graphblast_overhead)
+
+    def test_reduction_has_two_launches(self, gpu):
+        assert gpu.reduction_seconds(10) >= 2 * gpu.config.kernel_launch_s
+
+    def test_dgemv_bandwidth_bound(self, gpu):
+        t = gpu.dgemv_seconds(1000, 1000)
+        nbytes = 1000 * 1000 * 8
+        floor = nbytes / gpu.config.memory_bandwidth
+        assert t > floor
+
+    def test_spgemm_compute_vs_traffic(self, gpu):
+        traffic_bound = gpu.spgemm_seconds(1e3, 1_000_000, 1_000_000)
+        compute_bound = gpu.spgemm_seconds(1e12, 1_000, 1_000)
+        assert compute_bound > traffic_bound
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(GPUConfig(), spmv_efficiency=0.0).validate()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(GPUConfig(),
+                                stream_efficiency=1.5).validate()
+
+
+class TestSpaceAModel:
+    def test_linear_in_nnz(self):
+        model = SpaceAModel()
+        assert model.spmv_seconds(2_000_000) == pytest.approx(
+            2 * model.spmv_seconds(1_000_000))
+
+    def test_faster_than_balanced_psyncpim_story(self):
+        # SpaceA has no lock-step or staging overhead: its per-element
+        # cost must be finite and positive, and scale with banks.
+        few_banks = SpaceAModel(dataclasses.replace(SpaceAConfig(),
+                                                    num_banks=64))
+        many_banks = SpaceAModel()
+        assert few_banks.spmv_seconds(10 ** 6) > \
+            many_banks.spmv_seconds(10 ** 6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(SpaceAConfig(),
+                                overhead_factor=0.5).validate()
+
+
+class TestSpGEMMAccelerator:
+    def test_spmv_as_spgemm_penalised(self):
+        model = SpGEMMAcceleratorModel()
+        direct = model.spgemm_seconds(2e6, 1_000_000, 500_000)
+        forced = model.spmv_as_spgemm_seconds(100_000, 1_000_000)
+        assert forced > direct  # the Fig. 13 inefficiency
+
+    def test_spgemm_rooflines(self):
+        model = SpGEMMAcceleratorModel()
+        stream = model.spgemm_seconds(1.0, 10_000_000, 10_000_000)
+        compute = model.spgemm_seconds(1e13, 100, 100)
+        assert compute > stream
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(SpGEMMAcceleratorConfig(),
+                                spmv_inefficiency=0.1).validate()

@@ -1,0 +1,85 @@
+"""Tests for the format-aware SpMV timing path (coo/csr/bitmap)."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_system
+from repro.core import run_spmv, time_spmv
+from repro.errors import ExecutionError
+from repro.formats.generators import uniform_random
+
+CFG = default_system()
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def dense_case():
+    matrix = uniform_random(500, 500, density=0.2, seed=1)
+    x = RNG.random(500)
+    return matrix, x
+
+
+@pytest.fixture(scope="module")
+def sparse_case():
+    matrix = uniform_random(2500, 2500, density=0.001, seed=2)
+    x = RNG.random(2500)
+    return matrix, x
+
+
+class TestFormatTiming:
+    def test_results_identical_across_formats(self, dense_case):
+        matrix, x = dense_case
+        reference = matrix.matvec(x)
+        for fmt in ("coo", "csr", "bitmap"):
+            result = run_spmv(matrix, x, CFG, matrix_format=fmt)
+            np.testing.assert_allclose(result.y, reference)
+            assert result.execution.matrix_format == fmt
+
+    def test_stream_bytes_coo(self, dense_case):
+        matrix, x = dense_case
+        ex = run_spmv(matrix, x, CFG, matrix_format="coo").execution
+        assert ex.stream_bytes_per_element == pytest.approx(12.0)  # fp64
+
+    def test_stream_bytes_csr_below_coo(self, dense_case):
+        matrix, x = dense_case
+        coo = run_spmv(matrix, x, CFG, matrix_format="coo").execution
+        csr = run_spmv(matrix, x, CFG, matrix_format="csr").execution
+        assert csr.stream_bytes_per_element < coo.stream_bytes_per_element
+
+    def test_bitmap_wins_dense_loses_sparse(self, dense_case, sparse_case):
+        for (matrix, x), better in ((dense_case, "bitmap"),
+                                    (sparse_case, "coo")):
+            times = {}
+            for fmt in ("coo", "bitmap"):
+                ex = run_spmv(matrix, x, CFG, matrix_format=fmt).execution
+                times[fmt] = time_spmv(ex, CFG).seconds
+            worse = "coo" if better == "bitmap" else "bitmap"
+            assert times[better] <= times[worse]
+
+    def test_matrix_bytes_follow_format(self, dense_case):
+        matrix, x = dense_case
+        coo = run_spmv(matrix, x, CFG, matrix_format="coo").execution
+        bitmap = run_spmv(matrix, x, CFG,
+                          matrix_format="bitmap").execution
+        assert coo.matrix_bytes == pytest.approx(
+            matrix.nnz * 12, rel=0.01)
+        assert bitmap.matrix_bytes < coo.matrix_bytes  # 20% density
+
+    def test_int8_narrower_than_fp64(self, dense_case):
+        matrix, x = dense_case
+        xi = np.round(x * 4)
+        e8 = run_spmv(matrix, xi, CFG, precision="int8").execution
+        e64 = run_spmv(matrix, xi, CFG, precision="fp64").execution
+        assert (e8.stream_bytes_per_element
+                < e64.stream_bytes_per_element)
+
+    def test_unknown_format_rejected(self, dense_case):
+        matrix, x = dense_case
+        with pytest.raises(ExecutionError, match="format"):
+            run_spmv(matrix, x, CFG, matrix_format="quadtree")
+
+    def test_facade_accepts_format(self, dense_case):
+        from repro import PSyncPIM
+        matrix, x = dense_case
+        result = PSyncPIM().spmv(matrix, x, matrix_format="bitmap")
+        np.testing.assert_allclose(result.y, matrix.matvec(x))

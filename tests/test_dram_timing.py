@@ -1,0 +1,233 @@
+"""Tests for repro.dram — timing parameters, banks, channel scheduling."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram import (BANKS_PER_CHANNEL, Command, CommandType,
+                        ChannelScheduler, TimingParams)
+from repro.errors import ConfigError, TimingError
+
+
+@pytest.fixture
+def timing():
+    return TimingParams()
+
+
+@pytest.fixture
+def sched(timing):
+    return ChannelScheduler(timing, enable_refresh=False)
+
+
+class TestTimingParams:
+    def test_defaults_validate(self, timing):
+        timing.validate()
+
+    def test_trc_is_ras_plus_rp(self, timing):
+        assert timing.trc == timing.tras + timing.trp
+
+    def test_turnaround_windows_positive(self, timing):
+        assert timing.read_to_write > 0
+        assert timing.write_to_read > 0
+        assert timing.write_recovery > timing.twr
+
+    def test_ccd_ordering_enforced(self):
+        bad = dataclasses.replace(TimingParams(), tccd_l=1, tccd_s=2)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_rrd_ordering_enforced(self):
+        bad = dataclasses.replace(TimingParams(), trrd_l=2, trrd_s=4)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_refresh_window_sanity(self):
+        bad = dataclasses.replace(TimingParams(), trfc=5000)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+
+class TestCommandTypes:
+    def test_row_column_partition(self):
+        for kind in CommandType:
+            if kind in (CommandType.MODE,):
+                continue
+            assert kind.is_row != kind.is_column
+
+    def test_all_bank_markers(self):
+        assert CommandType.ACT_AB.is_all_bank
+        assert CommandType.RD_AB.is_all_bank
+        assert not CommandType.ACT.is_all_bank
+        assert CommandType.REF.is_all_bank
+
+    def test_read_write_markers(self):
+        assert CommandType.RD.is_read and CommandType.RD_AB.is_read
+        assert CommandType.WR.is_write and CommandType.WR_AB.is_write
+        assert not CommandType.ACT.is_read
+
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.ACT, bank=-1)
+        with pytest.raises(ValueError):
+            Command(CommandType.ACT, min_gap=-2)
+
+
+class TestSingleBankTiming:
+    def test_act_to_read_is_trcd(self, sched, timing):
+        t_act = sched.issue(Command(CommandType.ACT, bank=0, row=3))
+        t_rd = sched.issue(Command(CommandType.RD, bank=0, row=3))
+        assert t_rd - t_act == timing.trcd
+
+    def test_act_to_pre_is_tras(self, sched, timing):
+        t_act = sched.issue(Command(CommandType.ACT, bank=0, row=3))
+        t_pre = sched.issue(Command(CommandType.PRE, bank=0))
+        assert t_pre - t_act == timing.tras
+
+    def test_pre_to_act_is_trp(self, sched, timing):
+        sched.issue(Command(CommandType.ACT, bank=0, row=3))
+        t_pre = sched.issue(Command(CommandType.PRE, bank=0))
+        t_act = sched.issue(Command(CommandType.ACT, bank=0, row=4))
+        assert t_act - t_pre >= timing.trp
+
+    def test_read_to_same_group_read_is_ccdl(self, sched, timing):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        t1 = sched.issue(Command(CommandType.RD, bank=0, row=1))
+        t2 = sched.issue(Command(CommandType.RD, bank=0, row=1, col=1))
+        assert t2 - t1 == timing.tccd_l
+
+    def test_cross_group_read_is_ccds(self, sched, timing):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        sched.issue(Command(CommandType.ACT, bank=4, row=1))  # group 1
+        sched.issue(Command(CommandType.RD, bank=0, row=1))
+        t2 = sched.issue(Command(CommandType.RD, bank=4, row=1))
+        # Once both rows are warm, alternating groups pays only tCCD_S.
+        t3 = sched.issue(Command(CommandType.RD, bank=0, row=1, col=1))
+        assert t3 - t2 == timing.tccd_s
+
+    def test_write_read_turnaround(self, sched, timing):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        t_wr = sched.issue(Command(CommandType.WR, bank=0, row=1))
+        t_rd = sched.issue(Command(CommandType.RD, bank=0, row=1, col=1))
+        assert t_rd - t_wr >= timing.write_to_read
+
+    def test_write_recovery_before_pre(self, sched, timing):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        t_wr = sched.issue(Command(CommandType.WR, bank=0, row=1))
+        t_pre = sched.issue(Command(CommandType.PRE, bank=0))
+        assert t_pre - t_wr >= timing.write_recovery
+
+    def test_same_bank_act_act_is_trc(self, sched, timing):
+        t1 = sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        sched.issue(Command(CommandType.PRE, bank=0))
+        t2 = sched.issue(Command(CommandType.ACT, bank=0, row=2))
+        assert t2 - t1 >= timing.trc
+
+    def test_faw_limits_burst_of_activates(self, sched, timing):
+        times = [sched.issue(Command(CommandType.ACT, bank=b, row=0))
+                 for b in range(5)]
+        assert times[4] - times[0] >= timing.tfaw
+
+    def test_rrd_spacing(self, sched, timing):
+        t0 = sched.issue(Command(CommandType.ACT, bank=0, row=0))
+        t1 = sched.issue(Command(CommandType.ACT, bank=1, row=0))  # same grp
+        assert t1 - t0 >= timing.trrd_l
+        t2 = sched.issue(Command(CommandType.ACT, bank=4, row=0))  # cross
+        assert t2 - t1 >= timing.trrd_s
+
+
+class TestProtocolErrors:
+    def test_read_without_open_row(self, sched):
+        with pytest.raises(TimingError, match="precharged"):
+            sched.issue(Command(CommandType.RD, bank=0, row=1))
+
+    def test_read_wrong_row(self, sched):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        with pytest.raises(TimingError, match="row"):
+            sched.issue(Command(CommandType.RD, bank=0, row=2))
+
+    def test_double_activate(self, sched):
+        sched.issue(Command(CommandType.ACT, bank=0, row=1))
+        with pytest.raises(TimingError, match="open row"):
+            sched.issue(Command(CommandType.ACT, bank=0, row=2))
+
+    def test_pre_closed_bank(self, sched):
+        with pytest.raises(TimingError, match="precharged"):
+            sched.issue(Command(CommandType.PRE, bank=0))
+
+    def test_pre_ab_needs_open_banks(self, sched):
+        with pytest.raises(TimingError, match="no open banks"):
+            sched.issue(Command(CommandType.PRE_AB))
+
+    def test_bank_out_of_range(self, sched):
+        with pytest.raises(TimingError, match="bank"):
+            sched.issue(Command(CommandType.ACT, bank=16, row=0))
+
+
+class TestAllBankCommands:
+    def test_act_ab_opens_every_bank(self, sched):
+        sched.issue(Command(CommandType.ACT_AB, row=7))
+        assert all(b.open_row == 7 for b in sched.banks)
+
+    def test_rd_ab_waits_trcd(self, sched, timing):
+        t_act = sched.issue(Command(CommandType.ACT_AB, row=7))
+        t_rd = sched.issue(Command(CommandType.RD_AB, row=7))
+        assert t_rd - t_act == timing.trcd
+
+    def test_consecutive_rd_ab_spaced_ccdl(self, sched, timing):
+        sched.issue(Command(CommandType.ACT_AB, row=7))
+        t1 = sched.issue(Command(CommandType.RD_AB, row=7))
+        t2 = sched.issue(Command(CommandType.RD_AB, row=7, col=1))
+        assert t2 - t1 == timing.tccd_l
+
+    def test_pre_ab_closes_every_bank(self, sched):
+        sched.issue(Command(CommandType.ACT_AB, row=7))
+        sched.issue(Command(CommandType.PRE_AB))
+        assert all(not b.is_open for b in sched.banks)
+
+    def test_all_bank_row_stream_beats_per_bank(self, timing):
+        """Streaming one row in AB mode is far cheaper than per-bank."""
+        ab = ChannelScheduler(timing, enable_refresh=False)
+        ab.issue(Command(CommandType.ACT_AB, row=0))
+        for c in range(8):
+            ab.issue(Command(CommandType.RD_AB, row=0, col=c))
+        ab.issue(Command(CommandType.PRE_AB))
+        pb = ChannelScheduler(timing, enable_refresh=False)
+        for b in range(BANKS_PER_CHANNEL):
+            pb.issue(Command(CommandType.ACT, bank=b, row=0))
+            for c in range(8):
+                pb.issue(Command(CommandType.RD, bank=b, row=0, col=c))
+            pb.issue(Command(CommandType.PRE, bank=b))
+        assert pb.now > 3 * ab.now
+
+    def test_min_gap_enforced(self, sched):
+        sched.issue(Command(CommandType.ACT_AB, row=0))
+        t1 = sched.issue(Command(CommandType.RD_AB, row=0))
+        t2 = sched.issue(Command(CommandType.RD_AB, row=0, col=1,
+                                 min_gap=40))
+        assert t2 - t1 >= 40
+
+
+class TestModeAndRefresh:
+    def test_mode_switch_blocks_buses(self, sched, timing):
+        t_mode = sched.issue(Command(CommandType.MODE))
+        t_act = sched.issue(Command(CommandType.ACT_AB, row=0))
+        assert t_act - t_mode >= timing.mode_switch_cycles
+
+    def test_refresh_requires_precharged(self, timing):
+        sched = ChannelScheduler(timing, enable_refresh=False)
+        sched.issue(Command(CommandType.ACT, bank=0, row=0))
+        with pytest.raises(TimingError, match="precharge"):
+            sched.issue(Command(CommandType.REF))
+
+    def test_auto_refresh_inserted(self, timing):
+        sched = ChannelScheduler(timing, enable_refresh=True)
+        # Idle past several tREFI windows, then issue a command.
+        sched.issue(Command(CommandType.ACT, bank=0, row=0),
+                    earliest=4 * timing.trefi)
+        assert sched.refreshes_performed >= 3
+
+    def test_refresh_blocks_banks_for_trfc(self, timing):
+        sched = ChannelScheduler(timing, enable_refresh=False)
+        t_ref = sched.issue(Command(CommandType.REF))
+        t_act = sched.issue(Command(CommandType.ACT, bank=0, row=0))
+        assert t_act - t_ref >= timing.trfc

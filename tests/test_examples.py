@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are part of the public deliverable; each embeds its own
+assertions (results checked against references), so a clean exit is a real
+correctness signal, not just an import check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # quickstart + two domain scenarios
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run([sys.executable, str(example)],
+                            capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"

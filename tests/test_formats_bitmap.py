@@ -1,0 +1,100 @@
+"""Tests for repro.formats.bitmap — the §VIII neural-network format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import (BitmapMatrix, COOMatrix, best_format,
+                           coo_footprint_bytes)
+from repro.formats.generators import uniform_random
+
+
+class TestBitmapRoundTrip:
+    def test_round_trip(self):
+        m = uniform_random(40, 60, density=0.2, seed=1)
+        assert BitmapMatrix.from_coo(m).to_coo() == m
+
+    def test_matvec_matches(self):
+        m = uniform_random(50, 50, density=0.3, seed=2)
+        x = np.random.default_rng(0).random(50)
+        np.testing.assert_allclose(BitmapMatrix.from_coo(m).matvec(x),
+                                   m.matvec(x))
+
+    def test_empty_matrix(self):
+        bm = BitmapMatrix.from_coo(COOMatrix.empty((8, 8)))
+        assert bm.nnz == 0
+        assert bm.to_coo() == COOMatrix.empty((8, 8))
+
+    def test_full_matrix(self):
+        dense = np.arange(1.0, 13.0).reshape(3, 4)
+        m = COOMatrix.from_dense(dense)
+        bm = BitmapMatrix.from_coo(m)
+        assert bm.density == 1.0
+        np.testing.assert_allclose(bm.to_coo().to_dense(), dense)
+
+    def test_non_byte_aligned_shape(self):
+        m = uniform_random(7, 13, density=0.4, seed=3)  # 91 bits
+        assert BitmapMatrix.from_coo(m).to_coo() == m
+
+    def test_values_in_scan_order(self):
+        m = COOMatrix((2, 3), [1, 0, 0], [0, 2, 0], [30.0, 20.0, 10.0])
+        bm = BitmapMatrix.from_coo(m)
+        np.testing.assert_allclose(bm.values, [10.0, 20.0, 30.0])
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_property_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        nrows, ncols = int(rng.integers(1, 30)), int(rng.integers(1, 30))
+        m = uniform_random(nrows, ncols, density=0.25, seed=seed)
+        assert BitmapMatrix.from_coo(m).to_coo() == m
+
+
+class TestValidation:
+    def test_bit_count_mismatch(self):
+        with pytest.raises(FormatError, match="bytes"):
+            BitmapMatrix((4, 4), np.zeros(1, dtype=np.uint8), np.zeros(0))
+
+    def test_popcount_mismatch(self):
+        bits = np.packbits(np.ones(16, dtype=bool))
+        with pytest.raises(FormatError, match="set bits"):
+            BitmapMatrix((4, 4), bits, np.zeros(3))
+
+    def test_equality(self):
+        m = uniform_random(10, 10, 0.3, seed=4)
+        assert BitmapMatrix.from_coo(m) == BitmapMatrix.from_coo(m)
+        other = uniform_random(10, 10, 0.3, seed=5)
+        assert BitmapMatrix.from_coo(m) != BitmapMatrix.from_coo(other)
+
+
+class TestFootprints:
+    def test_bitmap_wins_at_high_density(self):
+        m = uniform_random(64, 64, density=0.3, seed=6)
+        bm = BitmapMatrix.from_coo(m)
+        assert bm.footprint_bytes() < coo_footprint_bytes(m)
+
+    def test_coo_wins_at_low_density(self):
+        m = uniform_random(256, 256, density=0.002, seed=7)
+        bm = BitmapMatrix.from_coo(m)
+        assert coo_footprint_bytes(m) < bm.footprint_bytes()
+
+    def test_best_format_rule(self):
+        assert best_format(0.5) == "bitmap"
+        assert best_format(0.2) == "bitmap"
+        assert best_format(0.005) == "coo"
+        assert best_format(0.0) == "coo"
+
+    def test_best_format_crossover_consistency(self):
+        """At the rule's crossover the footprints are close to equal."""
+        crossover = 1.0 / 32  # 16-bit indices
+        n = 400
+        m = uniform_random(n, n, density=crossover, seed=8)
+        bm = BitmapMatrix.from_coo(m)
+        ratio = bm.footprint_bytes() / coo_footprint_bytes(m)
+        assert 0.8 < ratio < 1.2
+
+    def test_best_format_validates(self):
+        with pytest.raises(FormatError):
+            best_format(1.5)

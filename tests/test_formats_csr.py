@@ -1,0 +1,97 @@
+"""Tests for repro.formats.csr and conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.formats import (COOMatrix, CSRMatrix, coo_to_scipy, csr_to_scipy,
+                           scipy_to_coo, scipy_to_csr)
+from repro.formats.generators import uniform_random
+
+
+@pytest.fixture
+def coo():
+    return uniform_random(20, 16, density=0.15, seed=7)
+
+
+class TestCSR:
+    def test_round_trip_coo(self, coo):
+        assert CSRMatrix.from_coo(coo).to_coo() == coo
+
+    def test_matvec_matches_coo(self, coo):
+        x = np.random.default_rng(1).random(coo.shape[1])
+        csr = CSRMatrix.from_coo(coo)
+        np.testing.assert_allclose(csr.matvec(x), coo.matvec(x))
+
+    def test_row_access(self, coo):
+        csr = CSRMatrix.from_coo(coo)
+        dense = coo.to_dense()
+        for i in range(coo.shape[0]):
+            idx, val = csr.row(i)
+            expect = np.nonzero(dense[i])[0]
+            np.testing.assert_array_equal(np.sort(idx), expect)
+            np.testing.assert_allclose(dense[i, idx], val)
+
+    def test_row_counts(self, coo):
+        csr = CSRMatrix.from_coo(coo)
+        np.testing.assert_array_equal(csr.row_counts(), coo.row_counts())
+
+    def test_row_out_of_range(self, coo):
+        csr = CSRMatrix.from_coo(coo)
+        with pytest.raises(FormatError):
+            csr.row(coo.shape[0])
+
+    def test_to_dense(self, coo):
+        np.testing.assert_allclose(CSRMatrix.from_coo(coo).to_dense(),
+                                   coo.to_dense())
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_coo(COOMatrix.empty((3, 3)))
+        assert csr.nnz == 0
+        np.testing.assert_allclose(csr.matvec(np.ones(3)), np.zeros(3))
+
+    def test_validate_bad_indptr_length(self):
+        with pytest.raises(FormatError, match="indptr length"):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_validate_decreasing_indptr(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            CSRMatrix((2, 2), np.array([0, 2, 1]),
+                      np.array([0]), np.array([1.0]))
+
+    def test_validate_index_range(self):
+        with pytest.raises(FormatError, match="column index"):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([9]),
+                      np.array([1.0]))
+
+    def test_validate_span(self):
+        with pytest.raises(FormatError, match="span"):
+            CSRMatrix((2, 2), np.array([0, 1, 3]), np.array([0]),
+                      np.array([1.0]))
+
+
+class TestScipyConversions:
+    def test_coo_scipy_round_trip(self, coo):
+        assert scipy_to_coo(coo_to_scipy(coo)) == coo
+
+    def test_csr_scipy_round_trip(self, coo):
+        csr = CSRMatrix.from_coo(coo)
+        back = scipy_to_csr(csr_to_scipy(csr))
+        assert back.to_coo() == coo
+
+    def test_scipy_duplicates_are_summed(self):
+        dup = sp.coo_matrix(([1.0, 2.0], ([0, 0], [0, 0])), shape=(2, 2))
+        merged = scipy_to_coo(dup)
+        assert merged.nnz == 1
+        assert merged.vals[0] == 3.0
+
+    def test_scipy_to_coo_rejects_dense(self):
+        with pytest.raises(FormatError):
+            scipy_to_coo(np.eye(3))
+
+    def test_matches_scipy_matvec(self, coo):
+        x = np.random.default_rng(2).random(coo.shape[1])
+        np.testing.assert_allclose(coo.matvec(x),
+                                   coo_to_scipy(coo) @ x)

@@ -1,0 +1,191 @@
+"""Tests for repro.formats.generators — synthetic pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+from repro.formats.generators import (banded_fem, make_spd, power_law_graph,
+                                      rmat, stencil_2d, stencil_3d,
+                                      uniform_random, unit_lower_from,
+                                      unit_upper_from)
+
+
+def is_symmetric(m: COOMatrix) -> bool:
+    return m == m.transpose()
+
+
+class TestStencils:
+    def test_2d_shape_and_diag(self):
+        m = stencil_2d(5, 4)
+        assert m.shape == (20, 20)
+        np.testing.assert_allclose(m.diagonal(), 4.0)
+
+    def test_2d_symmetric(self):
+        assert is_symmetric(stencil_2d(6))
+
+    def test_2d_interior_row_has_5_entries(self):
+        m = stencil_2d(5, 5)
+        counts = m.row_counts()
+        assert counts[12] == 5  # centre point
+        assert counts[0] == 3   # corner
+
+    def test_2d_positive_definite(self):
+        m = stencil_2d(4)
+        eigs = np.linalg.eigvalsh(m.to_dense())
+        assert eigs.min() > 0
+
+    def test_3d_shape_and_counts(self):
+        m = stencil_3d(3, 3, 3)
+        assert m.shape == (27, 27)
+        assert m.row_counts()[13] == 7  # centre of the cube
+        np.testing.assert_allclose(m.diagonal(), 6.0)
+
+    def test_3d_symmetric(self):
+        assert is_symmetric(stencil_3d(3))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(FormatError):
+            stencil_2d(0)
+        with pytest.raises(FormatError):
+            stencil_3d(2, 0, 2)
+
+
+class TestBandedFEM:
+    def test_symmetric_and_spd(self):
+        m = banded_fem(60, avg_row_nnz=6, seed=1)
+        assert is_symmetric(m)
+        eigs = np.linalg.eigvalsh(m.to_dense())
+        assert eigs.min() > 0  # diagonally dominant by construction
+
+    def test_deterministic(self):
+        assert banded_fem(50, 5, seed=9) == banded_fem(50, 5, seed=9)
+
+    def test_seed_changes_matrix(self):
+        assert banded_fem(50, 5, seed=1) != banded_fem(50, 5, seed=2)
+
+    def test_band_is_respected(self):
+        m = banded_fem(100, avg_row_nnz=4, bandwidth=7, seed=2)
+        assert np.max(np.abs(m.rows - m.cols)) <= 7
+
+    def test_mean_row_nnz_close(self):
+        m = banded_fem(500, avg_row_nnz=8, seed=3)
+        mean = m.nnz / m.shape[0]
+        assert 4 <= mean <= 12
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(FormatError):
+            banded_fem(0, 4)
+        with pytest.raises(FormatError):
+            banded_fem(10, 0.5)
+
+
+class TestGraphs:
+    def test_power_law_no_self_loops(self):
+        g = power_law_graph(200, avg_degree=6, seed=4)
+        assert np.all(g.rows != g.cols)
+
+    def test_power_law_mean_degree(self):
+        g = power_law_graph(1000, avg_degree=8, seed=5)
+        mean = g.nnz / g.shape[0]
+        assert 3 <= mean <= 10  # dedupe and self-loop removal shrink it
+
+    def test_power_law_heavy_tail(self):
+        g = power_law_graph(2000, avg_degree=8, seed=6)
+        indeg = g.col_counts()
+        # hubs exist: max in-degree far above the mean
+        assert indeg.max() > 5 * indeg.mean()
+
+    def test_power_law_symmetric_option(self):
+        g = power_law_graph(100, avg_degree=4, seed=7, symmetric=True)
+        assert is_symmetric(g)
+
+    def test_power_law_deterministic(self):
+        assert power_law_graph(100, 4, seed=8) == power_law_graph(
+            100, 4, seed=8)
+
+    def test_rmat_within_bounds(self):
+        g = rmat(100, nnz=400, seed=9)
+        assert g.shape == (100, 100)
+        assert 0 < g.nnz <= 400
+        assert np.all(g.rows != g.cols)
+
+    def test_rmat_skew(self):
+        # default probs concentrate edges in the low-index quadrant
+        g = rmat(512, nnz=4000, seed=10)
+        low = np.sum((g.rows < 256) & (g.cols < 256))
+        assert low > g.nnz * 0.4
+
+    def test_rmat_rejects_bad_probs(self):
+        with pytest.raises(FormatError):
+            rmat(64, 100, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_graph_arg_validation(self):
+        with pytest.raises(FormatError):
+            power_law_graph(1, 2)
+        with pytest.raises(FormatError):
+            rmat(1, 5)
+
+
+class TestUniformRandom:
+    def test_density_close(self):
+        m = uniform_random(100, 100, density=0.05, seed=11)
+        assert 0.03 <= m.density <= 0.055
+
+    def test_rectangular(self):
+        m = uniform_random(30, 50, density=0.1, seed=12)
+        assert m.shape == (30, 50)
+
+    def test_value_distributions(self):
+        ones = uniform_random(30, 30, 0.1, seed=13, values="ones")
+        assert np.all(ones.vals == 1.0)
+        uni = uniform_random(30, 30, 0.1, seed=13, values="uniform")
+        assert np.all(uni.vals > 0)
+
+    def test_unknown_values_kind(self):
+        with pytest.raises(FormatError):
+            uniform_random(10, 10, 0.1, values="cauchy")
+
+    def test_density_bounds(self):
+        with pytest.raises(FormatError):
+            uniform_random(10, 10, 1.5)
+
+
+class TestTransforms:
+    def test_make_spd(self):
+        base = uniform_random(40, 40, density=0.08, seed=14)
+        spd = make_spd(base)
+        assert is_symmetric(spd)
+        eigs = np.linalg.eigvalsh(spd.to_dense())
+        assert eigs.min() > 0
+
+    def test_make_spd_requires_square(self):
+        with pytest.raises(FormatError):
+            make_spd(uniform_random(3, 4, 0.5, seed=0))
+
+    def test_unit_lower_structure(self):
+        base = uniform_random(30, 30, density=0.1, seed=15)
+        low = unit_lower_from(base, seed=15)
+        assert low.is_lower_triangular()
+        np.testing.assert_allclose(low.diagonal(), np.ones(30))
+
+    def test_unit_lower_solvable(self):
+        base = uniform_random(25, 25, density=0.15, seed=16)
+        low = unit_lower_from(base, seed=16)
+        b = np.random.default_rng(0).random(25)
+        x = np.linalg.solve(low.to_dense(), b)
+        assert np.all(np.isfinite(x))
+        # well-conditioned: solution stays within a sane magnitude
+        assert np.abs(x).max() < 1e6
+
+    def test_unit_upper_structure(self):
+        base = uniform_random(30, 30, density=0.1, seed=17)
+        up = unit_upper_from(base, seed=17)
+        assert up.is_upper_triangular()
+        np.testing.assert_allclose(up.diagonal(), np.ones(30))
+
+    def test_unit_lower_matches_strict_structure(self):
+        base = uniform_random(30, 30, density=0.1, seed=18)
+        low = unit_lower_from(base, seed=18)
+        expect = base.strictly_lower().nnz + 30
+        assert low.nnz == expect

@@ -1,0 +1,136 @@
+"""Tests for repro.formats.matrix_market — .mtx parsing and writing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (COOMatrix, read_matrix_market,
+                           reads_matrix_market, write_matrix_market,
+                           writes_matrix_market)
+from repro.formats.generators import uniform_random
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 3 4
+1 1 1.5
+1 3 2.0
+2 2 -3.0
+3 1 4.25
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 5.0
+"""
+
+SKEW = """%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 1.0
+3 2 -2.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+
+class TestParsing:
+    def test_general(self):
+        m = reads_matrix_market(GENERAL)
+        assert m.shape == (3, 3)
+        assert m.nnz == 4
+        dense = m.to_dense()
+        assert dense[0, 0] == 1.5
+        assert dense[0, 2] == 2.0
+        assert dense[2, 0] == 4.25
+
+    def test_symmetric_expansion(self):
+        m = reads_matrix_market(SYMMETRIC)
+        dense = m.to_dense()
+        assert dense[1, 0] == dense[0, 1] == -1.0
+        assert m.nnz == 4  # 3 stored + 1 mirrored off-diagonal
+
+    def test_skew_symmetric_expansion(self):
+        m = reads_matrix_market(SKEW)
+        dense = m.to_dense()
+        assert dense[1, 0] == 1.0 and dense[0, 1] == -1.0
+        assert dense[2, 1] == -2.0 and dense[1, 2] == 2.0
+
+    def test_pattern_values_are_one(self):
+        m = reads_matrix_market(PATTERN)
+        np.testing.assert_allclose(m.vals, [1.0, 1.0])
+
+    def test_integer_field(self):
+        text = GENERAL.replace("real", "integer").replace("1.5", "2")
+        m = reads_matrix_market(text)
+        assert m.to_dense()[0, 0] == 2.0
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% c1\n\n%c2\n2 2 1\n\n1 1 3.0\n")
+        m = reads_matrix_market(text)
+        assert m.nnz == 1
+
+
+class TestParsingErrors:
+    def test_missing_header(self):
+        with pytest.raises(FormatError, match="header"):
+            reads_matrix_market("3 3 1\n1 1 1.0\n")
+
+    def test_unsupported_layout(self):
+        with pytest.raises(FormatError, match="layout"):
+            reads_matrix_market(
+                "%%MatrixMarket matrix array real general\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(FormatError, match="field"):
+            reads_matrix_market(
+                "%%MatrixMarket matrix coordinate complex general\n")
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(FormatError, match="symmetry"):
+            reads_matrix_market(
+                "%%MatrixMarket matrix coordinate real hermitian\n")
+
+    def test_truncated_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(FormatError, match="ends early"):
+            reads_matrix_market(text)
+
+    def test_malformed_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\nx y z\n"
+        with pytest.raises(FormatError, match="size line"):
+            reads_matrix_market(text)
+
+    def test_malformed_entry(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"
+        with pytest.raises(FormatError, match="entry"):
+            reads_matrix_market(text)
+
+
+class TestWriting:
+    def test_string_round_trip(self):
+        m = uniform_random(12, 9, density=0.2, seed=3)
+        again = reads_matrix_market(writes_matrix_market(m))
+        assert again == m
+
+    def test_file_round_trip(self, tmp_path):
+        m = uniform_random(8, 8, density=0.25, seed=4)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path, comment="generated\nfor tests")
+        again = read_matrix_market(path)
+        assert again == m
+
+    def test_comment_lines_written(self):
+        m = COOMatrix((1, 1), [0], [0], [1.0])
+        text = writes_matrix_market(m, comment="hello")
+        assert "% hello" in text
+
+    def test_values_survive_exactly(self):
+        m = COOMatrix((1, 2), [0], [1], [1.0 / 3.0])
+        again = reads_matrix_market(writes_matrix_market(m))
+        assert again.vals[0] == m.vals[0]  # repr() round-trips floats

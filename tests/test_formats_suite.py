@@ -1,0 +1,91 @@
+"""Tests for repro.formats.suite — the Table IX registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (TABLE_IX, generate, matrices_for, matrix_spec,
+                           suite_names)
+
+
+class TestRegistry:
+    def test_all_26_matrices_present(self):
+        assert len(suite_names()) == 26
+
+    def test_paper_order_preserved(self):
+        names = suite_names()
+        assert names[0] == "2cubes_sphere"
+        assert names[-1] == "xenon2"
+
+    def test_spec_lookup(self):
+        spec = matrix_spec("bcsstk32")
+        assert spec.dimension == 44609
+        assert spec.density == pytest.approx(1.01e-3)
+        assert "spmv" in spec.applications
+
+    def test_unknown_name(self):
+        with pytest.raises(FormatError, match="unknown suite matrix"):
+            matrix_spec("not-a-matrix")
+
+    def test_application_tags(self):
+        sptrsv = matrices_for("sptrsv")
+        assert set(sptrsv) == {"2cubes_sphere", "offshore", "parabolic_fem",
+                               "poisson3Da", "rma10"}
+        pcg = matrices_for("pcg")
+        assert set(pcg) == {"2cubes_sphere", "offshore", "parabolic_fem"}
+        assert len(matrices_for("graphs")) == 8
+        assert len(matrices_for("spmv")) == 15
+
+    def test_unknown_tag(self):
+        with pytest.raises(FormatError, match="tag"):
+            matrices_for("spgemm")
+
+    def test_spec_derived_quantities(self):
+        spec = matrix_spec("facebook")
+        assert spec.mean_row_nnz == pytest.approx(4039 * 5.41e-3)
+        assert spec.nnz_estimate == pytest.approx(
+            4039 * 4039 * 5.41e-3, rel=1e-4)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_every_matrix_generates_small(self, name):
+        m = generate(name, scale=0.01)
+        assert m.nnz > 0
+        assert m.shape[0] >= 64
+        m.validate()
+
+    def test_scale_one_matches_dimension_class(self):
+        m = generate("wiki-Vote", scale=1.0)
+        spec = matrix_spec("wiki-Vote")
+        assert abs(m.shape[0] - spec.dimension) / spec.dimension < 0.05
+
+    def test_deterministic(self):
+        assert generate("facebook", 0.2) == generate("facebook", 0.2)
+
+    def test_sptrsv_matrices_are_spd(self):
+        m = generate("poisson3Da", scale=0.05)
+        assert m == m.transpose()
+        # SPD check on a small principal minor (cheap proxy)
+        sub = m.submatrix((0, 120), (0, 120)).to_dense()
+        assert np.linalg.eigvalsh(sub).min() > 0
+
+    def test_mean_row_preserved_under_scaling(self):
+        spec = matrix_spec("cant")
+        small = generate("cant", scale=0.05)
+        mean = small.nnz / small.shape[0]
+        # symmetrisation can double, dedupe can shrink: wide but real bound
+        assert 0.25 * spec.mean_row_nnz <= mean <= 4 * spec.mean_row_nnz
+
+    def test_invalid_scale(self):
+        with pytest.raises(FormatError):
+            generate("cant", scale=0.0)
+
+    def test_graph_matrices_are_unweighted(self):
+        m = generate("wiki-Vote", scale=0.2)
+        assert np.all(m.vals == 1.0)
+
+    def test_every_spec_kind_is_generatable(self):
+        kinds = {spec.kind for spec in TABLE_IX.values()}
+        assert kinds == {"stencil2d", "stencil3d", "mesh", "fem",
+                         "powerlaw", "rmat", "random"}

@@ -1,0 +1,114 @@
+"""Tests for repro.formats.vector — SparseVector and index-set helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import SparseVector, intersect, union
+
+
+@pytest.fixture
+def vec():
+    return SparseVector(10, [7, 1, 4], [70.0, 10.0, 40.0])
+
+
+class TestSparseVector:
+    def test_dense_round_trip(self, vec):
+        assert SparseVector.from_dense(vec.to_dense()) == vec
+
+    def test_from_dense_tolerance(self):
+        v = SparseVector.from_dense(np.array([1e-14, 1.0]), tol=1e-9)
+        assert v.nnz == 1
+
+    def test_from_dense_rejects_2d(self):
+        with pytest.raises(FormatError):
+            SparseVector.from_dense(np.eye(2))
+
+    def test_empty(self):
+        v = SparseVector.empty(5)
+        assert v.nnz == 0
+        assert v.density == 0.0
+        np.testing.assert_allclose(v.to_dense(), np.zeros(5))
+
+    def test_density(self, vec):
+        assert vec.density == pytest.approx(0.3)
+
+    def test_sorted(self, vec):
+        s = vec.sorted()
+        np.testing.assert_array_equal(s.indices, [1, 4, 7])
+        np.testing.assert_allclose(s.values, [10.0, 40.0, 70.0])
+
+    def test_dot_dense(self, vec):
+        y = np.arange(10, dtype=float)
+        assert vec.dot_dense(y) == pytest.approx(vec.to_dense() @ y)
+
+    def test_dot_dense_length_check(self, vec):
+        with pytest.raises(FormatError):
+            vec.dot_dense(np.ones(3))
+
+    def test_axpy_into(self, vec):
+        y = np.ones(10)
+        out = vec.axpy_into(2.0, y)
+        np.testing.assert_allclose(out, 2.0 * vec.to_dense() + y)
+        np.testing.assert_allclose(y, np.ones(10))  # input untouched
+
+    def test_scaled(self, vec):
+        np.testing.assert_allclose(vec.scaled(-1.0).to_dense(),
+                                   -vec.to_dense())
+
+    def test_validation_duplicates(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            SparseVector(4, [1, 1], [1.0, 2.0])
+
+    def test_validation_bounds(self):
+        with pytest.raises(FormatError, match="out of range"):
+            SparseVector(4, [4], [1.0])
+
+    def test_iteration(self, vec):
+        items = dict((i, v) for i, v in vec)
+        assert items == {7: 70.0, 1: 10.0, 4: 40.0}
+
+    def test_equality_order_insensitive(self, vec):
+        shuffled = SparseVector(10, [4, 7, 1], [40.0, 70.0, 10.0])
+        assert vec == shuffled
+        assert vec != SparseVector(10, [4], [40.0])
+
+
+class TestIndexSets:
+    def test_intersect(self):
+        a = SparseVector(8, [0, 3, 5], [1.0, 2.0, 3.0])
+        b = SparseVector(8, [3, 5, 7], [10.0, 20.0, 30.0])
+        idx, av, bv = intersect(a, b)
+        np.testing.assert_array_equal(idx, [3, 5])
+        np.testing.assert_allclose(av, [2.0, 3.0])
+        np.testing.assert_allclose(bv, [10.0, 20.0])
+
+    def test_intersect_disjoint(self):
+        a = SparseVector(4, [0], [1.0])
+        b = SparseVector(4, [1], [1.0])
+        idx, av, bv = intersect(a, b)
+        assert idx.size == 0
+
+    def test_union_zero_fills(self):
+        a = SparseVector(8, [0, 3], [1.0, 2.0])
+        b = SparseVector(8, [3, 7], [10.0, 30.0])
+        idx, av, bv = union(a, b)
+        np.testing.assert_array_equal(idx, [0, 3, 7])
+        np.testing.assert_allclose(av, [1.0, 2.0, 0.0])
+        np.testing.assert_allclose(bv, [0.0, 10.0, 30.0])
+
+    def test_union_matches_dense_add(self):
+        rng = np.random.default_rng(5)
+        a = SparseVector.from_dense(rng.random(20) * (rng.random(20) < 0.3))
+        b = SparseVector.from_dense(rng.random(20) * (rng.random(20) < 0.3))
+        idx, av, bv = union(a, b)
+        dense_sum = a.to_dense() + b.to_dense()
+        out = np.zeros(20)
+        out[idx] = av + bv
+        np.testing.assert_allclose(out, dense_sum)
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            intersect(SparseVector.empty(3), SparseVector.empty(4))
+        with pytest.raises(FormatError):
+            union(SparseVector.empty(3), SparseVector.empty(4))

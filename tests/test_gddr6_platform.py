@@ -1,0 +1,67 @@
+"""Tests for the GDDR6-AiM platform variant (paper §II-B contrast)."""
+
+import numpy as np
+import pytest
+
+from repro import PSyncPIM, default_system, gddr6_aim_system
+from repro.core import run_spmv, time_spmv
+from repro.formats import generate
+
+RNG = np.random.default_rng(0)
+
+
+class TestGddr6Config:
+    def test_geometry(self):
+        cfg = gddr6_aim_system()
+        assert cfg.total_units == 512
+        assert cfg.memory.row_bytes == 2048
+        assert cfg.memory.num_pseudo_channels == 32
+        assert cfg.external_bandwidth == 1024e9
+
+    def test_validates(self):
+        cfg = gddr6_aim_system()
+        assert cfg.memory.bank_bytes * cfg.memory.total_banks \
+            == cfg.memory.capacity_bytes
+
+    def test_bigger_tiles_from_bigger_rows(self):
+        hbm = default_system()
+        aim = gddr6_aim_system()
+        assert aim.vector_capacity("fp64") == 2 * hbm.vector_capacity(
+            "fp64")
+
+    def test_multi_device(self):
+        assert gddr6_aim_system(num_devices=2).total_units == 1024
+
+
+class TestGddr6Execution:
+    @pytest.fixture(scope="class")
+    def case(self):
+        matrix = generate("pwtk", scale=0.03)
+        x = np.random.default_rng(1).random(matrix.shape[1])
+        return matrix, x
+
+    def test_same_results_as_hbm(self, case):
+        matrix, x = case
+        hbm = run_spmv(matrix, x, default_system())
+        aim = run_spmv(matrix, x, gddr6_aim_system())
+        np.testing.assert_allclose(aim.y, hbm.y)
+
+    def test_fewer_tiles_with_2kb_rows(self, case):
+        matrix, x = case
+        hbm = run_spmv(matrix, x, default_system())
+        aim = run_spmv(matrix, x, gddr6_aim_system())
+        assert len(aim.plan.tiles) < len(hbm.plan.tiles)
+
+    def test_timing_runs_on_both_platforms(self, case):
+        matrix, x = case
+        for cfg in (default_system(), gddr6_aim_system()):
+            execution = run_spmv(matrix, x, cfg).execution
+            report = time_spmv(execution, cfg)
+            assert report.cycles > 0
+
+    def test_facade_accepts_gddr6(self, case):
+        matrix, x = case
+        pim = PSyncPIM(config=gddr6_aim_system())
+        result = pim.spmv(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x))
+        assert pim.time_spmv(result).cycles > 0

@@ -1,0 +1,158 @@
+"""Cross-subsystem integration tests.
+
+Each test exercises several packages together the way a downstream user
+would: suite matrices through the full runtime, Matrix Market files through
+the CLI-facing loaders, the functional ISA tier against the fast tier on
+the same plans, and complete solver pipelines with timing and energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PSyncPIM, default_system
+from repro.apps import PIMBackend, pcg
+from repro.core import (ildu, run_spmv, run_sptrsv,
+                        solve_unit_triangular_reference, time_spmv,
+                        time_sptrsv)
+from repro.dram import TimingParams
+from repro.formats import (generate, matrices_for, read_matrix_market,
+                           write_matrix_market)
+from repro.formats.generators import make_spd, uniform_random
+
+CFG = default_system()
+RNG = np.random.default_rng(0)
+
+
+class TestSuiteWideSpmv:
+    """Every Table IX matrix runs the full SpMV plan correctly."""
+
+    @pytest.mark.parametrize("name", matrices_for("spmv"))
+    def test_spmv_matches_reference(self, name):
+        matrix = generate(name, scale=0.015)
+        x = RNG.random(matrix.shape[1])
+        result = run_spmv(matrix, x, CFG)
+        np.testing.assert_allclose(result.y, matrix.matvec(x),
+                                   rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("name", matrices_for("graphs"))
+    def test_graph_matrices_through_semiring(self, name):
+        matrix = generate(name, scale=0.01)
+        frontier = (RNG.random(matrix.shape[1]) < 0.2).astype(float)
+        result = run_spmv(matrix.transpose(), frontier, multiply="land",
+                          accumulate="lor", config=CFG)
+        expect = np.zeros(matrix.shape[0])
+        at = matrix.transpose()
+        np.maximum.at(expect, at.rows, frontier[at.cols])
+        np.testing.assert_allclose(result.y, expect)
+
+
+class TestSuiteWideSolvers:
+    @pytest.mark.parametrize("name", matrices_for("pcg"))
+    def test_pcg_on_suite_matrices(self, name):
+        matrix = generate(name, scale=0.008)
+        x_true = RNG.random(matrix.shape[0])
+        b = matrix.matvec(x_true)
+        result = pcg(matrix, b, PIMBackend(), tol=1e-9)
+        assert result.value.converged, name
+        np.testing.assert_allclose(result.value.x, x_true, rtol=1e-5)
+
+    @pytest.mark.parametrize("name", matrices_for("sptrsv"))
+    def test_sptrsv_on_suite_matrices(self, name):
+        matrix = generate(name, scale=0.008)
+        factors = ildu(matrix)
+        b = RNG.random(matrix.shape[0])
+        solve = run_sptrsv(factors.lower, b, CFG)
+        np.testing.assert_allclose(
+            solve.x, solve_unit_triangular_reference(factors.lower, b),
+            rtol=1e-8)
+
+
+class TestTierAgreement:
+    """The instruction-accurate tier agrees with the fast tier."""
+
+    def test_spmv_tiers_agree(self):
+        matrix = generate("ca-CondMat", scale=0.05)
+        x = RNG.random(matrix.shape[1])
+        fast = run_spmv(matrix, x, CFG, fidelity="fast")
+        functional = run_spmv(matrix, x, CFG, fidelity="functional",
+                              engine_banks=8)
+        np.testing.assert_allclose(functional.y, fast.y, rtol=1e-10)
+        # identical plans -> identical execution records
+        assert (functional.execution.round_batches
+                == fast.execution.round_batches)
+        assert functional.execution.input_bytes == fast.execution.input_bytes
+
+    def test_sptrsv_tiers_agree(self):
+        low = ildu(make_spd(uniform_random(90, 90, 0.04, seed=3))).lower
+        b = RNG.random(90)
+        fast = run_sptrsv(low, b, CFG, leaf_size=32, fidelity="fast")
+        functional = run_sptrsv(low, b, CFG, leaf_size=32,
+                                fidelity="functional", engine_banks=4)
+        np.testing.assert_allclose(functional.x, fast.x, rtol=1e-10)
+
+    def test_facade_tiers_agree(self):
+        matrix = generate("facebook", scale=0.04)
+        x = RNG.random(matrix.shape[1])
+        fast = PSyncPIM(fidelity="fast").spmv(matrix, x)
+        functional = PSyncPIM(fidelity="functional",
+                              engine_banks=8).spmv(matrix, x)
+        np.testing.assert_allclose(functional.y, fast.y)
+
+
+class TestFileRoundTrips:
+    def test_mtx_through_full_pipeline(self, tmp_path):
+        matrix = make_spd(uniform_random(120, 120, 0.04, seed=4))
+        path = tmp_path / "system.mtx"
+        write_matrix_market(matrix, path, comment="integration test")
+        loaded = read_matrix_market(path)
+        assert loaded == matrix
+        pim = PSyncPIM()
+        x_true = RNG.random(120)
+        b = loaded.matvec(x_true)
+        factors = pim.factorize(loaded)
+        y = pim.sptrsv(factors.lower, b).x
+        y = y * factors.diag_inv
+        z = pim.sptrsv(factors.upper, y, lower=False).x
+        # one preconditioner application approximates the solve
+        assert (np.linalg.norm(z - x_true)
+                < np.linalg.norm(b - x_true))
+
+
+class TestTimingEnergyConsistency:
+    def test_spmv_timing_deterministic(self):
+        matrix = generate("cant", scale=0.02)
+        x = RNG.random(matrix.shape[1])
+        execution = run_spmv(matrix, x, CFG).execution
+        a = time_spmv(execution, CFG, with_energy=True)
+        b = time_spmv(execution, CFG, with_energy=True)
+        assert a.cycles == b.cycles
+        assert a.energy.total_pj == b.energy.total_pj
+
+    def test_more_work_costs_more(self):
+        x_small = generate("cant", scale=0.015)
+        x_large = generate("cant", scale=0.05)
+        ex_small = run_spmv(x_small, RNG.random(x_small.shape[1]),
+                            CFG).execution
+        ex_large = run_spmv(x_large, RNG.random(x_large.shape[1]),
+                            CFG).execution
+        assert (time_spmv(ex_large, CFG).cycles
+                > time_spmv(ex_small, CFG).cycles)
+
+    def test_sptrsv_energy_positive_and_bounded(self):
+        matrix = generate("poisson3Da", scale=0.12)
+        factors = ildu(matrix)
+        b = RNG.random(matrix.shape[0])
+        solve = run_sptrsv(factors.lower, b, CFG)
+        report = time_sptrsv(solve.execution, CFG, with_energy=True)
+        watts = report.energy.average_power_watts(report.cycles,
+                                                  TimingParams())
+        assert 0 < watts < 10.0
+
+    def test_three_cubes_faster_not_cheaper_per_op(self):
+        matrix = generate("pwtk", scale=0.04)
+        x = RNG.random(matrix.shape[1])
+        one = default_system(1)
+        three = default_system(3)
+        t1 = time_spmv(run_spmv(matrix, x, one).execution, one)
+        t3 = time_spmv(run_spmv(matrix, x, three).execution, three)
+        assert t3.cycles < t1.cycles

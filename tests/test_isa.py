@@ -1,0 +1,250 @@
+"""Tests for repro.isa — encodings, programs, assembler (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError, EncodingError
+from repro.isa import (BInstruction, BinaryOp, CInstruction, Identity,
+                       MAX_INSTRUCTIONS, Opcode, Operand, Program, SetMode,
+                       SubQueue, ValueFormat, assemble, decode, decode_bytes,
+                       encode, encode_bytes)
+
+B_OPCODES = [op for op in Opcode if not op.is_control]
+
+
+class TestOpcodeTaxonomy:
+    def test_fifteen_instructions(self):
+        assert len(Opcode) == 15
+
+    def test_partition(self):
+        control = [op for op in Opcode if op.is_control]
+        movement = [op for op in Opcode if op.is_movement]
+        binary = [op for op in Opcode if op.is_binary]
+        assert len(control) == 4
+        assert len(movement) == 5
+        assert len(binary) == 6
+        assert set(control + movement + binary) == set(Opcode)
+
+    def test_operand_helpers(self):
+        assert Operand.SPVQ2.queue_index == 2
+        assert Operand.DRF1.dense_index == 1
+        with pytest.raises(ValueError):
+            Operand.SRF.queue_index
+        with pytest.raises(ValueError):
+            Operand.BANK.dense_index
+
+    def test_identity_values(self):
+        assert Identity.ZERO.value_as_float == 0.0
+        assert Identity.POS_INF.value_as_float == float("inf")
+
+
+@st.composite
+def b_instructions(draw):
+    return BInstruction(
+        opcode=draw(st.sampled_from(B_OPCODES)),
+        dst=draw(st.sampled_from(list(Operand))),
+        src0=draw(st.sampled_from(list(Operand))),
+        src1=draw(st.sampled_from(list(Operand))),
+        value=draw(st.sampled_from(list(ValueFormat))),
+        binary=draw(st.sampled_from(list(BinaryOp))),
+        set_mode=draw(st.sampled_from(list(SetMode))),
+        idx=draw(st.sampled_from(list(SubQueue))),
+        idnt=draw(st.sampled_from(list(Identity))))
+
+
+@st.composite
+def c_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.NOP, Opcode.JUMP, Opcode.EXIT,
+                                   Opcode.CEXIT]))
+    if opcode is Opcode.JUMP:
+        return CInstruction(opcode, imm0=draw(st.integers(0, 255)),
+                            order=draw(st.integers(0, 63)),
+                            imm1=draw(st.integers(1, 1023)))
+    if opcode is Opcode.CEXIT:
+        return CInstruction(opcode, imm1=draw(st.integers(1, 7)))
+    return CInstruction(opcode)
+
+
+class TestEncoding:
+    @given(b_instructions())
+    def test_b_round_trip(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    @given(c_instructions())
+    def test_c_round_trip(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    @given(b_instructions())
+    def test_bytes_round_trip(self, instruction):
+        blob = encode_bytes(instruction)
+        assert len(blob) == 4
+        assert decode_bytes(blob) == instruction
+
+    def test_word_range_checked(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError, match="opcode"):
+            decode(0xF << 28)
+
+    def test_bad_byte_length(self):
+        with pytest.raises(EncodingError):
+            decode_bytes(b"abc")
+
+    def test_control_field_limits(self):
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.JUMP, imm0=256, imm1=1)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.JUMP, order=64, imm1=1)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.JUMP, imm1=1024)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.JUMP, imm1=0)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.CEXIT, imm1=0)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.CEXIT, imm1=8)
+
+    def test_format_cross_checks(self):
+        with pytest.raises(EncodingError):
+            BInstruction(Opcode.JUMP)
+        with pytest.raises(EncodingError):
+            CInstruction(Opcode.DMOV)
+
+
+class TestProgram:
+    def _nop(self):
+        return CInstruction(Opcode.NOP)
+
+    def test_length_limit(self):
+        with pytest.raises(EncodingError, match="control register"):
+            Program([self._nop()] * (MAX_INSTRUCTIONS + 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            Program([])
+
+    def test_jump_target_validated(self):
+        with pytest.raises(EncodingError, match="target"):
+            Program([CInstruction(Opcode.JUMP, imm0=5, imm1=2),
+                     CInstruction(Opcode.EXIT)])
+
+    def test_duplicate_jump_orders_rejected(self):
+        with pytest.raises(EncodingError, match="ORDER"):
+            Program([CInstruction(Opcode.JUMP, imm0=0, order=1, imm1=2),
+                     CInstruction(Opcode.JUMP, imm0=0, order=1, imm1=2)])
+
+    def test_word_round_trip(self):
+        program = assemble("""
+        loop: DMOV DRF0, BANK
+              JUMP loop count=4
+              EXIT
+        """)
+        again = Program.decode_words(program.encode_words())
+        assert again == program
+
+    def test_encode_bytes_length(self):
+        program = Program([self._nop(), CInstruction(Opcode.EXIT)])
+        assert len(program.encode_bytes()) == 8
+
+    def test_has_terminator(self):
+        assert Program([CInstruction(Opcode.EXIT)]).has_terminator
+        assert not Program([self._nop()]).has_terminator
+
+    def test_disassemble_mentions_slots(self):
+        program = Program([self._nop(), CInstruction(Opcode.EXIT)],
+                          name="demo")
+        text = program.disassemble()
+        assert "demo" in text and "0:" in text and "1:" in text
+
+
+class TestAssembler:
+    def test_labels_and_modifiers(self):
+        program = assemble("""
+        ; kernel with every feature
+        start:
+            SDV  DRF0, SRF, BANK  value=fp32 binary=mul
+            DMOV BANK, DRF0
+            JUMP start order=2 count=10
+            CEXIT SPVQ0|SPVQ2
+        """)
+        assert len(program) == 4
+        jump = program[2]
+        assert jump.imm0 == 0 and jump.order == 2 and jump.imm1 == 10
+        assert program[3].queue_mask == 0b101
+        assert program[0].value is ValueFormat.FP32
+
+    def test_numeric_jump_target(self):
+        program = assemble("DMOV DRF0, BANK\nJUMP @0 count=2\nEXIT")
+        assert program[1].imm0 == 0
+
+    def test_case_insensitive(self):
+        program = assemble("dmov drf0, bank value=FP16")
+        assert program[0].value is ValueFormat.FP16
+
+    def test_comments_stripped(self):
+        program = assemble("NOP ; trailing\n# whole line\nEXIT")
+        assert len(program) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="mnemonic"):
+            assemble("FROB DRF0, BANK")
+
+    def test_unknown_operand(self):
+        with pytest.raises(AssemblerError, match="operand"):
+            assemble("DMOV DRF9, BANK")
+
+    def test_bad_modifier_value(self):
+        with pytest.raises(AssemblerError, match="binary"):
+            assemble("DVDV DRF0, DRF1, DRF2 binary=frobnicate")
+
+    def test_unknown_modifier_key(self):
+        with pytest.raises(AssemblerError, match="modifiers"):
+            assemble("DMOV DRF0, BANK turbo=yes")
+
+    def test_jump_requires_count(self):
+        with pytest.raises(AssemblerError, match="count"):
+            assemble("x: NOP\nJUMP x")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("JUMP nowhere count=2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a: NOP\na: EXIT")
+
+    def test_cexit_requires_queues(self):
+        with pytest.raises(AssemblerError, match="SPVQ"):
+            assemble("CEXIT")
+        with pytest.raises(AssemblerError, match="sparse queues"):
+            assemble("CEXIT DRF0")
+
+    def test_exit_takes_no_operands(self):
+        with pytest.raises(AssemblerError, match="no operands"):
+            assemble("EXIT DRF0")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblerError, match="no instructions"):
+            assemble("; nothing here\n")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("NOP\nNOP\nFROB x\n")
+
+    def test_assembled_round_trips_through_encoding(self):
+        program = assemble("""
+        outer:
+            SPMOV  SPVQ0, BANK
+            INDMOV SRF, BANK, SPVQ0
+            SSPV   SPVQ1, SRF, SPVQ0 binary=mul
+            SPVDV  BANK, SPVQ1 binary=add
+            CEXIT  SPVQ0|SPVQ1
+            JUMP   outer count=100
+            EXIT
+        """)
+        assert Program.decode_words(program.encode_words()) == program

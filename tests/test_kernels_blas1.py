@@ -1,0 +1,212 @@
+"""Tests for repro.kernels — BLAS-1, sparse BLAS-1 and dense L2 drivers.
+
+Every kernel is validated against its numpy golden reference, across bank
+counts, precisions and multi-pass lengths. Hypothesis drives the dense
+kernels over arbitrary operands.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.formats import SparseVector
+from repro.kernels import (daxpy, dcopy, ddot, dgemv, dnrm2, dscal, dswap,
+                           dtrsv, elementwise, gather, passes, scatter,
+                           spaxpy, spdot, split_even, join_even)
+
+RNG = np.random.default_rng(123)
+
+finite = st.floats(-1e3, 1e3, allow_nan=False)
+vectors = st.lists(finite, min_size=1, max_size=200).map(np.array)
+
+
+class TestHelpers:
+    def test_split_join_round_trip(self):
+        x = RNG.random(133)
+        chunks = split_even(x, 8, 4)
+        assert len({c.size for c in chunks}) == 1
+        assert chunks[0].size % 4 == 0
+        np.testing.assert_allclose(join_even(chunks, x.size), x)
+
+    def test_passes_respects_limit(self):
+        steps = list(passes(2500))
+        assert sum(steps) == 2500
+        assert max(steps) <= 1023
+
+    def test_passes_empty(self):
+        assert list(passes(0)) == []
+        with pytest.raises(ExecutionError):
+            list(passes(-1))
+
+
+class TestDenseKernels:
+    @given(vectors)
+    @settings(max_examples=20, deadline=None)
+    def test_dcopy_property(self, x):
+        np.testing.assert_allclose(dcopy(x, num_banks=4).result, x)
+
+    @given(vectors, finite)
+    @settings(max_examples=20, deadline=None)
+    def test_dscal_property(self, x, alpha):
+        np.testing.assert_allclose(dscal(alpha, x, num_banks=4).result,
+                                   alpha * x, rtol=1e-12, atol=1e-9)
+
+    def test_dswap(self):
+        x, y = RNG.random(77), RNG.random(77)
+        nx, ny = dswap(x, y, num_banks=8).result
+        np.testing.assert_allclose(nx, y)
+        np.testing.assert_allclose(ny, x)
+
+    def test_daxpy(self):
+        x, y = RNG.random(200), RNG.random(200)
+        np.testing.assert_allclose(daxpy(2.5, x, y, num_banks=8).result,
+                                   2.5 * x + y)
+
+    def test_daxpy_length_mismatch(self):
+        with pytest.raises(ExecutionError):
+            daxpy(1.0, np.ones(3), np.ones(4))
+
+    def test_ddot(self):
+        x, y = RNG.random(301), RNG.random(301)
+        assert ddot(x, y, num_banks=8).result == pytest.approx(x @ y)
+
+    def test_ddot_multipass(self):
+        # > 1023 groups per bank forces several kernel passes
+        x = RNG.random(4 * 1100 * 2)
+        run = ddot(x, x, num_banks=2)
+        assert run.result == pytest.approx(x @ x)
+        assert run.stats.launches >= 2
+
+    def test_dnrm2(self):
+        x = RNG.standard_normal(150)
+        assert dnrm2(x, num_banks=4).result == pytest.approx(
+            np.linalg.norm(x))
+
+    @pytest.mark.parametrize("op,ref", [("add", np.add),
+                                        ("sub", np.subtract),
+                                        ("mul", np.multiply),
+                                        ("min", np.minimum),
+                                        ("max", np.maximum)])
+    def test_elementwise_ops(self, op, ref):
+        x, y = RNG.random(90), RNG.random(90)
+        np.testing.assert_allclose(
+            elementwise(x, y, op, num_banks=4).result, ref(x, y))
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32", "int8"])
+    def test_precisions_share_semantics(self, precision):
+        x, y = np.round(RNG.random(64) * 10), np.round(RNG.random(64) * 10)
+        assert ddot(x, y, num_banks=4,
+                    precision=precision).result == pytest.approx(x @ y)
+
+    def test_single_bank(self):
+        x = RNG.random(40)
+        np.testing.assert_allclose(dcopy(x, num_banks=1).result, x)
+
+
+class TestSparseKernels:
+    def _sparse(self, n=400, density=0.1, seed=5):
+        rng = np.random.default_rng(seed)
+        dense = rng.standard_normal(n) * (rng.random(n) < density)
+        return SparseVector.from_dense(dense)
+
+    def test_spaxpy(self):
+        sv = self._sparse()
+        y = RNG.random(400)
+        np.testing.assert_allclose(
+            spaxpy(3.0, sv, y, num_banks=8).result, sv.axpy_into(3.0, y))
+
+    def test_spaxpy_empty_vector(self):
+        sv = SparseVector.empty(100)
+        y = RNG.random(100)
+        np.testing.assert_allclose(spaxpy(2.0, sv, y, num_banks=4).result, y)
+
+    def test_spdot(self):
+        sv = self._sparse(seed=6)
+        y = RNG.random(400)
+        assert spdot(sv, y, num_banks=8).result == pytest.approx(
+            sv.dot_dense(y))
+
+    def test_spdot_dense_vector(self):
+        # fully dense sparse vector still works (union of all indices)
+        sv = SparseVector.from_dense(RNG.random(64) + 0.1)
+        y = RNG.random(64)
+        assert spdot(sv, y, num_banks=4).result == pytest.approx(
+            sv.dot_dense(y))
+
+    def test_gather_matches_from_dense(self):
+        dense = RNG.standard_normal(300) * (RNG.random(300) < 0.2)
+        assert gather(dense, num_banks=8).result == \
+            SparseVector.from_dense(dense)
+
+    def test_gather_all_zero(self):
+        result = gather(np.zeros(50), num_banks=4).result
+        assert result.nnz == 0
+
+    def test_scatter_into_base(self):
+        sv = self._sparse(seed=7)
+        base = RNG.random(400)
+        expect = base.copy()
+        expect[sv.indices] = sv.values
+        np.testing.assert_allclose(
+            scatter(sv, base=base, num_banks=8).result, expect)
+
+    def test_scatter_fresh(self):
+        sv = self._sparse(seed=8)
+        np.testing.assert_allclose(scatter(sv, num_banks=8).result,
+                                   sv.to_dense())
+
+    def test_gather_scatter_round_trip(self):
+        dense = RNG.standard_normal(220) * (RNG.random(220) < 0.15)
+        sv = gather(dense, num_banks=4).result
+        np.testing.assert_allclose(scatter(sv, num_banks=4).result, dense)
+
+    def test_length_mismatches(self):
+        sv = self._sparse()
+        with pytest.raises(ExecutionError):
+            spaxpy(1.0, sv, np.ones(10))
+        with pytest.raises(ExecutionError):
+            spdot(sv, np.ones(10))
+        with pytest.raises(ExecutionError):
+            scatter(sv, base=np.ones(10))
+
+
+class TestDenseL2:
+    def test_dgemv_square(self):
+        A = RNG.standard_normal((64, 64))
+        x = RNG.random(64)
+        np.testing.assert_allclose(dgemv(A, x, num_banks=8).result, A @ x)
+
+    def test_dgemv_rectangular(self):
+        A = RNG.standard_normal((30, 90))
+        x = RNG.random(90)
+        np.testing.assert_allclose(dgemv(A, x, num_banks=4).result, A @ x)
+
+    def test_dgemv_shape_check(self):
+        with pytest.raises(ExecutionError):
+            dgemv(np.ones((3, 4)), np.ones(3))
+
+    def test_dtrsv_lower_upper(self):
+        n = 48
+        L = np.tril(RNG.standard_normal((n, n))) + 5 * np.eye(n)
+        U = np.triu(RNG.standard_normal((n, n))) + 5 * np.eye(n)
+        b = RNG.random(n)
+        np.testing.assert_allclose(dtrsv(L, b, lower=True,
+                                         num_banks=4).result,
+                                   np.linalg.solve(L, b))
+        np.testing.assert_allclose(dtrsv(U, b, lower=False,
+                                         num_banks=4).result,
+                                   np.linalg.solve(U, b))
+
+    def test_dtrsv_singular_rejected(self):
+        T = np.tril(np.ones((4, 4)))
+        T[2, 2] = 0.0
+        with pytest.raises(ExecutionError, match="singular"):
+            dtrsv(T, np.ones(4))
+
+    def test_launch_stats_populated(self):
+        run = daxpy(1.0, RNG.random(100), RNG.random(100), num_banks=4)
+        assert run.stats.beats > 0
+        assert run.stats.launches >= 1
+        assert run.stats.mode_switches >= 3

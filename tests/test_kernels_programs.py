@@ -1,0 +1,82 @@
+"""Tests for repro.kernels.programs — the Table III kernel programs.
+
+Each builder must produce a valid, terminating program whose beat demand
+matches the driver contract; the checks here pin those schedules so a
+program edit that silently changes a kernel's transaction pattern fails
+loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import MAX_INSTRUCTIONS, Opcode, Program
+from repro.kernels import programs
+from repro.pim import beat_signature, expected_beats
+
+BUILDERS = {
+    "dcopy": lambda n: programs.dcopy_program(n),
+    "dswap": lambda n: programs.dswap_program(n),
+    "dscal": lambda n: programs.dscal_program(n),
+    "daxpy": lambda n: programs.daxpy_program(n),
+    "ddot": lambda n: programs.ddot_program(n),
+    "gather": lambda n: programs.gather_program(n),
+    "scatter": lambda n: programs.scatter_program(n),
+    "spaxpy": lambda n: programs.spaxpy_program(n, 4),
+    "spdot": lambda n: programs.spdot_program(n, 4),
+    "spmv": lambda n: programs.spmv_program(n, 2, 8),
+    "dgemv_row": lambda n: programs.dgemv_row_program(n),
+    "dtrsv": lambda n: programs.dtrsv_update_program(n),
+    "elementwise": lambda n: programs.elementwise_program(n, "add"),
+}
+
+#: Transactions each kernel consumes per loop iteration.
+BEATS_PER_GROUP = {
+    "dcopy": 2, "dswap": 4, "dscal": 2, "daxpy": 3, "ddot": 2,
+    "gather": 2, "scatter": 2, "spaxpy": 5, "spdot": 5, "spmv": 18,
+    "elementwise": 3, "dtrsv": 3,
+}
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_valid_and_fits_control_register(self, name):
+        program = BUILDERS[name](7)
+        assert isinstance(program, Program)
+        assert len(program) <= MAX_INSTRUCTIONS
+        assert program.has_terminator
+
+    @pytest.mark.parametrize("name", sorted(BEATS_PER_GROUP))
+    def test_beats_per_group_contract(self, name):
+        per_group = BEATS_PER_GROUP[name]
+        for groups in (1, 5):
+            program = BUILDERS[name](groups)
+            extra = 1 if name == "dgemv_row" else 0
+            assert expected_beats(program) == groups * per_group + extra, \
+                name
+
+    def test_dgemv_row_ends_with_scalar_store(self):
+        signature = beat_signature(programs.dgemv_row_program(3))
+        assert signature[-1].opcode == "DMOV" and signature[-1].write
+
+    def test_spmv_accumulate_variants(self):
+        for op in ("add", "sub", "min", "lor"):
+            program = programs.spmv_program(4, 2, 8, accumulate=op)
+            assert expected_beats(program) == 4 * 18
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32", "int8"])
+    def test_precision_threads_through(self, precision):
+        program = programs.daxpy_program(3, precision)
+        assert precision in str(program[0]).lower()
+
+    @given(st.integers(1, 1023))
+    @settings(max_examples=20, deadline=None)
+    def test_any_legal_group_count_assembles(self, groups):
+        program = programs.dcopy_program(groups)
+        assert expected_beats(program) == 2 * groups
+
+    def test_round_trip_through_encoding(self):
+        for name, builder in BUILDERS.items():
+            program = builder(3)
+            assert Program.decode_words(program.encode_words()) == \
+                program, name

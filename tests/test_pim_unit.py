@@ -1,0 +1,301 @@
+"""Tests for repro.pim — memory regions, registers, the PU interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import ProcessingUnitConfig
+from repro.errors import CapacityError, ExecutionError
+from repro.isa import BinaryOp, assemble
+from repro.pim import (BankMemory, Beat, DenseRegion, ProcessingUnit,
+                       RegisterFile, SparseQueue, TripleRegion,
+                       padded_triples, alu)
+from repro.pim.unit import uses_bank
+
+
+class TestDenseRegion:
+    def test_read_write(self):
+        region = DenseRegion("v", np.arange(8.0))
+        np.testing.assert_allclose(region.read(2, 3), [2, 3, 4])
+        region.write(2, np.array([9.0, 9.0]))
+        assert region.data[2] == 9.0 and region.data[3] == 9.0
+
+    def test_reads_past_end_are_zero(self):
+        region = DenseRegion("v", np.arange(4.0))
+        np.testing.assert_allclose(region.read(2, 4), [2, 3, 0, 0])
+        np.testing.assert_allclose(region.read(10, 2), [0, 0])
+
+    def test_writes_past_end_dropped(self):
+        region = DenseRegion("v", np.arange(4.0))
+        region.write(3, np.array([7.0, 8.0]))
+        assert region.data[3] == 7.0  # 8.0 silently dropped
+
+    def test_scalar_access(self):
+        region = DenseRegion("v", np.arange(4.0))
+        assert region.read_scalar(1) == 1.0
+        assert region.read_scalar(99) == 0.0
+
+    def test_negative_access_rejected(self):
+        region = DenseRegion("v", np.arange(4.0))
+        with pytest.raises(ExecutionError):
+            region.read(-1, 2)
+
+    def test_accumulate_predicated(self):
+        region = DenseRegion("v", np.zeros(4))
+        region.accumulate(np.array([1, 99, 2]), np.array([5.0, 7.0, 3.0]),
+                          lambda a, b: a + b)
+        np.testing.assert_allclose(region.data, [0, 5, 3, 0])
+
+
+class TestTripleRegion:
+    def test_group_reads(self):
+        region = TripleRegion("m", np.arange(10), np.arange(10),
+                              np.arange(10.0))
+        rows, cols, vals = region.read_group(1, 4)
+        np.testing.assert_array_equal(rows, [4, 5, 6, 7])
+        rows, _, _ = region.read_group(2, 4)
+        assert rows.size == 2  # tail group is short
+
+    def test_reads_past_end_empty(self):
+        region = TripleRegion("m", np.arange(4), np.arange(4),
+                              np.arange(4.0))
+        rows, cols, vals = region.read_group(5, 4)
+        assert rows.size == cols.size == vals.size == 0
+
+    def test_padding_and_valid_count(self):
+        rows, cols, vals = padded_triples(np.array([1, 2]), np.array([0, 1]),
+                                          np.array([1.0, 2.0]), total=6)
+        region = TripleRegion("m", rows, cols, vals)
+        assert len(region) == 6
+        assert region.valid_count == 2
+
+    def test_padding_cannot_shrink(self):
+        with pytest.raises(CapacityError):
+            padded_triples(np.arange(4), np.arange(4), np.zeros(4), total=2)
+
+    def test_write_elements_bounds(self):
+        region = TripleRegion("m", np.zeros(4, dtype=np.int64),
+                              np.zeros(4, dtype=np.int64), np.zeros(4))
+        with pytest.raises(CapacityError):
+            region.write_elements(3, np.array([1, 2]), np.array([1, 2]),
+                                  np.array([1.0, 2.0]))
+
+
+class TestBankMemory:
+    def test_region_lookup_and_kinds(self):
+        memory = BankMemory()
+        memory.add_dense("x", np.zeros(4))
+        memory.add_triples("m", np.zeros(2, dtype=np.int64),
+                           np.zeros(2, dtype=np.int64), np.zeros(2))
+        assert "x" in memory and "m" in memory
+        with pytest.raises(ExecutionError):
+            memory.dense("m")
+        with pytest.raises(ExecutionError):
+            memory.triples("x")
+        with pytest.raises(ExecutionError):
+            memory.dense("nope")
+
+
+class TestSparseQueue:
+    def test_fifo_order(self):
+        queue = SparseQueue(4)
+        queue.push(1, 2, 3.0)
+        queue.push(4, 5, 6.0)
+        assert queue.pop() == (1, 2, 3.0)
+        assert queue.pop() == (4, 5, 6.0)
+
+    def test_predicated_push_when_full(self):
+        queue = SparseQueue(2)
+        assert queue.push(0, 0, 0.0)
+        assert queue.push(1, 1, 1.0)
+        assert not queue.push(2, 2, 2.0)
+        assert len(queue) == 2
+
+    def test_pop_up_to(self):
+        queue = SparseQueue(8)
+        for i in range(3):
+            queue.push(i, i, float(i))
+        assert len(queue.pop_up_to(5)) == 3
+        assert queue.is_empty
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ExecutionError):
+            SparseQueue(2).pop()
+
+    def test_capacities_by_precision(self):
+        fp64 = RegisterFile(ProcessingUnitConfig(), "fp64")
+        assert fp64.lanes == 4
+        assert fp64.queue_capacity == 8   # 64 B / 8 B values
+        assert fp64.group_size == 4
+        int8 = RegisterFile(ProcessingUnitConfig(), "int8")
+        assert int8.lanes == 32
+        assert int8.queue_capacity == 32  # bound by int16 indices
+        assert int8.group_size == 32
+
+    def test_queues_empty_mask(self):
+        rf = RegisterFile(ProcessingUnitConfig(), "fp64")
+        rf.queues[1].push(0, 0, 1.0)
+        assert rf.queues_empty(0b001)
+        assert not rf.queues_empty(0b010)
+        assert not rf.queues_empty(0b111)
+
+
+class TestALU:
+    @given(st.sampled_from([BinaryOp.ADD, BinaryOp.MUL, BinaryOp.MIN,
+                            BinaryOp.MAX]),
+           st.lists(st.floats(-100, 100), min_size=1, max_size=8))
+    def test_reduce_matches_numpy(self, op, values):
+        arr = np.array(values)
+        seed = alu.identity(op)
+        got = alu.reduce_array(op, arr, seed)
+        expect = {BinaryOp.ADD: np.sum, BinaryOp.MUL: np.prod,
+                  BinaryOp.MIN: np.min, BinaryOp.MAX: np.max}[op](arr)
+        assert got == pytest.approx(float(expect), rel=1e-9, abs=1e-9)
+
+    def test_identity_elements(self):
+        for op in (BinaryOp.ADD, BinaryOp.MUL, BinaryOp.MIN, BinaryOp.MAX,
+                   BinaryOp.LAND, BinaryOp.LOR):
+            ident = alu.identity(op)
+            assert alu.apply(op, ident, 5.0) == pytest.approx(
+                alu.apply(op, ident, 5.0))
+
+    def test_non_reducible_ops(self):
+        with pytest.raises(ExecutionError):
+            alu.identity(BinaryOp.SUB)
+        with pytest.raises(ExecutionError):
+            alu.reduce_array(BinaryOp.FIRST, np.ones(3), 0.0)
+
+    def test_logical_ops(self):
+        assert alu.apply(BinaryOp.LAND, 1.0, 0.0) == 0.0
+        assert alu.apply(BinaryOp.LOR, 1.0, 0.0) == 1.0
+
+    def test_select_ops(self):
+        assert alu.apply(BinaryOp.SECOND, 1.0, 2.0) == 2.0
+
+
+class TestUsesBank:
+    def test_register_only_ops(self):
+        program = assemble("""
+            REDUCE SRF, DRF0
+            SSPV   SPVQ1, SRF, SPVQ0
+            DVDV   DRF2, DRF0, DRF1
+            DMOV   DRF0, DRF1
+        """)
+        for instruction in program:
+            assert not uses_bank(instruction)
+
+    def test_bank_ops(self):
+        program = assemble("""
+            DMOV   DRF0, BANK
+            SDV    DRF0, SRF, BANK
+            INDMOV SRF, BANK, SPVQ0
+            SPVDV  BANK, SPVQ0
+            SPMOV  SPVQ0, BANK
+            GTHSCT SPVQ0, BANK
+        """)
+        for instruction in program:
+            assert uses_bank(instruction)
+
+
+class TestProcessingUnit:
+    def _unit(self):
+        memory = BankMemory()
+        memory.add_dense("x", np.arange(8.0))
+        memory.add_dense("y", np.zeros(8))
+        return ProcessingUnit(memory)
+
+    def test_requires_program(self):
+        unit = self._unit()
+        with pytest.raises(ExecutionError, match="no program"):
+            unit.consume_beat(Beat("x", 0))
+
+    def test_dense_copy_beats(self):
+        unit = self._unit()
+        unit.load_program(assemble("""
+        loop:
+            DMOV DRF0, BANK
+            DMOV BANK, DRF0
+            JUMP loop count=2
+            EXIT
+        """))
+        for g in range(2):
+            unit.consume_beat(Beat("x", g))
+            unit.consume_beat(Beat("y", g, write=True))
+        unit.flush_control()
+        assert unit.exited
+        np.testing.assert_allclose(unit.memory.dense("y").data,
+                                   np.arange(8.0))
+
+    def test_exited_unit_ignores_beats(self):
+        unit = self._unit()
+        unit.load_program(assemble("EXIT"))
+        unit.consume_beat(Beat("x", 0))
+        assert unit.exited
+        before = unit.memory.dense("y").data.copy()
+        unit.consume_beat(Beat("y", 0, write=True))
+        np.testing.assert_allclose(unit.memory.dense("y").data, before)
+        assert unit.stats.nop_beats >= 1
+
+    def test_runaway_program_detected(self):
+        unit = self._unit()
+        # A loop with no bank access can never consume a transaction.
+        unit.load_program(assemble("""
+        loop:
+            DMOV DRF0, DRF1
+            JUMP loop count=1000
+            EXIT
+        """))
+        with pytest.raises(ExecutionError, match="no bank access"):
+            unit.consume_beat(Beat("x", 0))
+
+    def test_cexit_requires_exhaustion(self):
+        memory = BankMemory()
+        rows, cols, vals = padded_triples(np.array([0]), np.array([0]),
+                                          np.array([2.0]), total=4)
+        memory.add_triples("m", rows, cols, vals)
+        unit = ProcessingUnit(memory)
+        unit.load_program(assemble("""
+        loop:
+            SPMOV SPVQ0, BANK
+            CEXIT SPVQ0
+            JUMP  loop count=2
+            EXIT
+        """))
+        unit.consume_beat(Beat("m", 0))
+        unit.flush_control()
+        # stream had padding -> exhausted, but queue still holds one item
+        assert not unit.exited
+        assert unit.exhausted
+        assert len(unit.registers.queues[0]) == 1
+
+    def test_nested_loops_with_orders(self):
+        unit = self._unit()
+        unit.load_program(assemble("""
+        outer:
+        inner:
+            DMOV DRF0, BANK
+            JUMP inner order=0 count=2
+            DMOV BANK, DRF0
+            JUMP outer order=1 count=3
+            EXIT
+        """))
+        consumed = 0
+        for _ in range(3):
+            for _ in range(2):
+                unit.consume_beat(Beat("x", 0))
+                consumed += 1
+            unit.consume_beat(Beat("y", 0, write=True))
+            consumed += 1
+        unit.flush_control()
+        assert unit.exited
+        assert unit.stats.beats == consumed
+
+    def test_arm_preserves_registers(self):
+        unit = self._unit()
+        unit.load_program(assemble("EXIT"))
+        unit.registers.scalar = 42.0
+        unit.arm(reset_registers=False)
+        assert unit.registers.scalar == 42.0
+        unit.arm(reset_registers=True)
+        assert unit.registers.scalar == 0.0

@@ -1,0 +1,98 @@
+"""Tests for repro.pim.verify — static beat signatures."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import assemble
+from repro.kernels import programs
+from repro.pim import (beat_signature, check_stream_length, expected_beats)
+
+
+class TestBeatSignature:
+    def test_dense_streaming_kernels(self):
+        assert expected_beats(programs.dcopy_program(5)) == 10
+        assert expected_beats(programs.dswap_program(3)) == 12
+        assert expected_beats(programs.daxpy_program(4)) == 12
+        assert expected_beats(programs.ddot_program(6)) == 12
+
+    def test_spmv_tile_program(self):
+        prog = programs.spmv_program(outer=3, loads=2, batch=8)
+        assert expected_beats(prog) == 3 * (2 + 8 + 8)
+
+    def test_signature_order_and_direction(self):
+        sig = beat_signature(programs.daxpy_program(1))
+        assert [s.opcode for s in sig] == ["SDV", "DVDV", "DMOV"]
+        assert [s.write for s in sig] == [False, False, True]
+
+    def test_scatter_rmw_is_a_write(self):
+        sig = beat_signature(programs.spmv_program(1, 1, 4))
+        spvdv = [s for s in sig if s.opcode == "SPVDV"]
+        assert spvdv and all(s.write for s in spvdv)
+
+    def test_exit_truncates(self):
+        prog = assemble("""
+            DMOV DRF0, BANK
+            EXIT
+            DMOV BANK, DRF0
+        """)
+        assert expected_beats(prog) == 1
+
+    def test_cexit_assumed_not_taken(self):
+        prog = assemble("""
+        loop:
+            SPMOV SPVQ0, BANK
+            CEXIT SPVQ0
+            JUMP  loop count=4
+            EXIT
+        """)
+        assert expected_beats(prog) == 4
+
+    def test_nested_loops_multiply(self):
+        prog = assemble("""
+        outer:
+        inner:
+            DMOV DRF0, BANK
+            JUMP inner order=0 count=3
+            DMOV BANK, DRF0
+            JUMP outer order=1 count=5
+            EXIT
+        """)
+        assert expected_beats(prog) == 5 * (3 + 1)
+
+    def test_register_only_program_has_no_beats(self):
+        prog = assemble("""
+            DVDV DRF0, DRF1, DRF2
+            REDUCE SRF, DRF0
+            EXIT
+        """)
+        assert expected_beats(prog) == 0
+
+    def test_slot_numbers_reported(self):
+        sig = beat_signature(programs.dcopy_program(1))
+        assert sig[0].slot == 0 and sig[1].slot == 1
+
+    def test_str_rendering(self):
+        sig = beat_signature(programs.dcopy_program(1))
+        assert str(sig[0]) == "DMOV@0:RD"
+        assert str(sig[1]) == "DMOV@1:WR"
+
+
+class TestStreamCheck:
+    def test_sufficient_stream_passes(self):
+        prog = programs.dcopy_program(4)
+        check_stream_length(prog, provided=8)
+        check_stream_length(prog, provided=100)  # longer is fine
+
+    def test_short_stream_rejected(self):
+        prog = programs.dcopy_program(4)
+        with pytest.raises(ExecutionError, match="supplies 3"):
+            check_stream_length(prog, provided=3)
+
+    def test_signatures_match_drivers(self):
+        """Cross-check: the SpVSpV driver's per-pass stream matches its
+        program's demand."""
+        from repro.kernels.spvspv import spvspv_program
+        prog = spvspv_program(outer=5, batch=4, binary="add",
+                              set_mode="union", identity="zero")
+        # per outer: 2 loads + 2 stores = 4 transactions
+        assert expected_beats(prog) == 5 * 4

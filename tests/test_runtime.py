@@ -1,0 +1,98 @@
+"""Tests for repro.core.runtime — the PSyncPIM facade."""
+
+import numpy as np
+import pytest
+
+from repro import PSyncPIM, default_system
+from repro.errors import ExecutionError
+from repro.formats import generate
+from repro.formats.generators import make_spd, uniform_random
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def pim():
+    return PSyncPIM()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generate("facebook", scale=0.1)
+
+
+class TestFacade:
+    def test_default_configuration(self, pim):
+        assert pim.config.total_units == 256
+        assert pim.precision == "fp64"
+
+    def test_three_cube(self):
+        assert PSyncPIM(num_cubes=3).config.total_units == 768
+
+    def test_custom_config(self):
+        cfg = default_system(2)
+        assert PSyncPIM(config=cfg).config is cfg
+
+    def test_rejects_unknown_fidelity(self):
+        with pytest.raises(ExecutionError):
+            PSyncPIM(fidelity="dreams")
+
+    def test_spmv(self, pim, matrix):
+        x = RNG.random(matrix.shape[1])
+        result = pim.spmv(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x))
+
+    def test_spmv_timing(self, pim, matrix):
+        x = RNG.random(matrix.shape[1])
+        result = pim.spmv(matrix, x)
+        ab = pim.time_spmv(result)
+        pb = pim.time_spmv(result, mode="pb")
+        assert pb.cycles > ab.cycles > 0
+
+    def test_sptrsv_pipeline(self, pim):
+        spd = make_spd(uniform_random(150, 150, 0.03, seed=1))
+        factors = pim.factorize(spd)
+        x = RNG.random(150)
+        b = spd.matvec(x)
+        z = pim.precondition(factors, b)
+        # preconditioner approximately inverts the operator
+        assert (np.linalg.norm(z - x) / np.linalg.norm(x)
+                < np.linalg.norm(b - x) / np.linalg.norm(x))
+
+    def test_sptrsv_solve_and_timing(self, pim):
+        spd = make_spd(uniform_random(120, 120, 0.04, seed=2))
+        factors = pim.factorize(spd)
+        b = RNG.random(120)
+        result = pim.sptrsv(factors.lower, b, lower=True)
+        report = pim.time_sptrsv(result)
+        assert report.cycles > 0
+        residual = factors.lower.matvec(result.x) - b
+        assert np.abs(residual).max() < 1e-9
+
+    def test_vector_kernel_timing(self, pim):
+        report = pim.time_vector_kernel(1 << 14)
+        assert report.cycles > 0
+
+    def test_backend_factory(self, pim, matrix):
+        backend = pim.backend()
+        x = RNG.random(matrix.shape[1])
+        y = backend.spmv(matrix, x)
+        np.testing.assert_allclose(y, matrix.matvec(x))
+        assert backend.config is pim.config
+
+    def test_functional_facade(self, matrix):
+        functional = PSyncPIM(fidelity="functional", engine_banks=8)
+        small = generate("facebook", scale=0.03)
+        x = RNG.random(small.shape[1])
+        result = functional.spmv(small, x)
+        np.testing.assert_allclose(result.y, small.matvec(x))
+
+    def test_energy_report(self, pim, matrix):
+        x = RNG.random(matrix.shape[1])
+        report = pim.time_spmv(pim.spmv(matrix, x), with_energy=True)
+        assert report.energy.total_joules > 0
+        # Fig. 14 sanity: SpMV cube power stays near the 5 W HBM2 budget
+        from repro.dram import TimingParams
+        cube_watts = report.energy.average_power_watts(
+            report.cycles, TimingParams())
+        assert cube_watts < 6.0

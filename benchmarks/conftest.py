@@ -3,14 +3,22 @@
 Every benchmark regenerates one table or figure of the paper and writes the
 rendered text to ``benchmarks/results/<name>.txt`` (alongside asserting the
 qualitative claims — who wins, in which direction). Matrix sizes are scaled
-by ``REPRO_BENCH_SCALE`` (default 0.05: minutes, laptop-friendly); paper-
-scale runs set it to 1.0.
+by ``PSYNCPIM_SCALE`` (or the legacy ``REPRO_BENCH_SCALE``; default 0.05:
+minutes, laptop-friendly); paper-scale runs set it to 1.0, CI shrinks it
+further without touching code.
+
+The figure drivers execute their job grids through :mod:`repro.sweep`, so
+suite-wide runs spread over ``PSYNCPIM_WORKERS`` worker processes and
+reuse cached partition plans / traces / schedules across parameter sweeps
+(cache root: ``PSYNCPIM_CACHE_DIR`` or ``~/.cache/psyncpim``).
+
+All benchmarks carry the ``slow`` marker: the tier-1 CI job deselects them
+with ``-m "not slow"`` while the benchmark smoke job runs them.
 """
 
 from __future__ import annotations
 
 import functools
-import os
 from pathlib import Path
 
 import numpy as np
@@ -18,9 +26,14 @@ import pytest
 
 from repro.config import default_system
 from repro.formats import generate
+from repro.sweep import resolve_bench_scale, resolve_workers
 
-#: Fraction of the published matrix dimension used by the benches.
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+#: Fraction of the published matrix dimension used by the benches
+#: (PSYNCPIM_SCALE > REPRO_BENCH_SCALE > 0.05).
+BENCH_SCALE = resolve_bench_scale()
+
+#: Worker processes for sweep-driven benches (PSYNCPIM_WORKERS or auto).
+SWEEP_WORKERS = resolve_workers()
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,6 +46,12 @@ SPTRSV_MATRICES = ("2cubes_sphere", "offshore", "parabolic_fem",
                    "poisson3Da", "rma10")
 GRAPH_MATRICES = ("wiki-Vote", "facebook", "ca-CondMat")
 PCG_MATRICES = ("2cubes_sphere", "offshore", "parabolic_fem")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every figure/table benchmark counts as slow (tier-1 deselects)."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @functools.lru_cache(maxsize=64)
@@ -51,6 +70,12 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+@pytest.fixture(scope="session")
+def sweep_workers():
+    """Worker count the sweep-driven benches fan out over."""
+    return SWEEP_WORKERS
 
 
 @pytest.fixture(scope="session")

@@ -12,30 +12,39 @@ FP64/FP32 (§VII-B).
 
 import pytest
 
-from conftest import (INT8_MATRICES, SPMV_MATRICES, bench_matrix,
-                      bench_vector, write_result)
+from conftest import (BENCH_SCALE, INT8_MATRICES, SPMV_MATRICES,
+                      bench_matrix, bench_vector, write_result)
 from repro.analysis import format_table, geomean
 from repro.baselines import GPUModel, SpaceAModel
 from repro.core import run_spmv, time_spmv
+from repro.sweep import SweepJob, run_sweep
 
 
 @pytest.fixture(scope="module")
-def results(cfg1, cfg3):
+def results(sweep_workers):
+    """Fig. 8 job grid via the sweep runner: three pSyncPIM pricings per
+    matrix, parallelised over workers with plan/trace/schedule caching."""
     gpu = GPUModel()
     spacea = SpaceAModel()
-    table = {}
+    jobs = []
     for name in SPMV_MATRICES + INT8_MATRICES:
         precision = "int8" if name in INT8_MATRICES else "fp64"
-        matrix = bench_matrix(name)
-        x = bench_vector(matrix.shape[1])
-        e1 = run_spmv(matrix, x, cfg1, precision=precision).execution
-        e3 = run_spmv(matrix, x, cfg3, precision=precision).execution
+        common = dict(kernel="spmv", matrix=name, scale=BENCH_SCALE,
+                      precision=precision)
+        jobs.append(SweepJob(label=f"{name}/pim", **common))
+        jobs.append(SweepJob(label=f"{name}/pb", mode="pb", **common))
+        jobs.append(SweepJob(label=f"{name}/pim3x", num_cubes=3, **common))
+    sweep = run_sweep(jobs, workers=sweep_workers)
+    table = {}
+    for name in SPMV_MATRICES + INT8_MATRICES:
+        extras = sweep.record(f"{name}/pim").extras
         table[name] = {
-            "gpu": gpu.spmv_seconds(*matrix.shape, matrix.nnz),
-            "pim": time_spmv(e1, cfg1).seconds,
-            "pb": time_spmv(e1, cfg1, mode="pb").seconds,
-            "spacea": spacea.spmv_seconds(matrix.nnz),
-            "pim3x": time_spmv(e3, cfg3).seconds,
+            "gpu": gpu.spmv_seconds(extras["rows"], extras["cols"],
+                                    extras["nnz"]),
+            "pim": sweep.report(f"{name}/pim").seconds,
+            "pb": sweep.report(f"{name}/pb").seconds,
+            "spacea": spacea.spmv_seconds(extras["nnz"]),
+            "pim3x": sweep.report(f"{name}/pim3x").seconds,
         }
     return table
 

@@ -6,34 +6,37 @@ case the GPU wins (hyper-sparse near-diagonal blocks). The bench runs the
 full ILDU pipeline per matrix and compares both triangular factors.
 """
 
-import numpy as np
 import pytest
 
-from conftest import SPTRSV_MATRICES, bench_matrix, bench_vector, write_result
+from conftest import (BENCH_SCALE, SPTRSV_MATRICES, bench_matrix,
+                      bench_vector, write_result)
 from repro.analysis import format_table, geomean
 from repro.baselines import GPUModel
-from repro.core import ildu, level_schedule, run_sptrsv, time_sptrsv
+from repro.core import ildu, run_sptrsv
+from repro.sweep import SweepJob, run_sweep
 
 
 @pytest.fixture(scope="module")
-def results(cfg1):
+def results(sweep_workers):
+    """Fig. 9 via the sweep runner: both ILDU factors of every matrix,
+    with the factorisation and solve artifacts shared through the cache."""
     gpu = GPUModel()
+    jobs = [SweepJob(kernel="sptrsv", matrix=name, scale=BENCH_SCALE,
+                     lower=lower, label=f"{name}/{label}")
+            for name in SPTRSV_MATRICES
+            for label, lower in (("lower", True), ("upper", False))]
+    sweep = run_sweep(jobs, workers=sweep_workers)
     table = {}
     for name in SPTRSV_MATRICES:
-        matrix = bench_matrix(name)
-        factors = ildu(matrix)
-        b = bench_vector(matrix.shape[0])
         row = {}
-        for label, tri, lower in (("lower", factors.lower, True),
-                                  ("upper", factors.upper, False)):
-            solve = run_sptrsv(tri, b, cfg1, lower=lower)
-            pim_s = time_sptrsv(solve.execution, cfg1).seconds
-            levels = len(level_schedule(tri, lower=lower))
-            gpu_s = gpu.sptrsv_seconds(tri.shape[0], tri.nnz, levels)
-            row[label] = (pim_s, gpu_s, levels)
+        for label in ("lower", "upper"):
+            record = sweep.record(f"{name}/{label}")
+            extras = record.extras
+            gpu_s = gpu.sptrsv_seconds(extras["dimension"], extras["nnz"],
+                                       extras["levels"])
+            row[label] = (record.report.seconds, gpu_s, extras["levels"])
             # correctness gate: the solve really solved
-            residual = tri.matvec(solve.x) - b
-            assert np.abs(residual).max() < 1e-8, name
+            assert extras["residual"] < 1e-8, name
         table[name] = row
     return table
 

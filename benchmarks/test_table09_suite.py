@@ -7,14 +7,20 @@ preserves the quantities pSyncPIM is sensitive to.
 
 import pytest
 
-from conftest import BENCH_SCALE, bench_matrix, write_result
+from conftest import BENCH_SCALE, write_result
 from repro.analysis import format_table
 from repro.formats import matrix_spec, suite_names
+from repro.sweep import SweepJob, run_sweep
 
 
 @pytest.fixture(scope="module")
-def suite():
-    return {name: bench_matrix(name) for name in suite_names()}
+def suite(sweep_workers):
+    """All 26 Table IX matrices, regenerated through the sweep runner so
+    the suite parallelises and repeated runs reuse cached matrices."""
+    jobs = [SweepJob(kernel="suite", matrix=name, scale=BENCH_SCALE)
+            for name in suite_names()]
+    sweep = run_sweep(jobs, workers=sweep_workers)
+    return {record.matrix: record.extras["matrix"] for record in sweep}
 
 
 class TestTable9Claims:

@@ -1,9 +1,9 @@
 """Analysis & reporting: area model, geomeans, table renderers."""
 
 from .area import TABLE_X, AreaBreakdown, table_x_model, unit_area
-from .report import (format_breakdown, format_table, geomean,
-                     normalised_series)
+from .report import (JobRecord, SweepResult, format_breakdown, format_table,
+                     geomean, normalised_series)
 
 __all__ = ["TABLE_X", "AreaBreakdown", "table_x_model", "unit_area",
-           "format_breakdown", "format_table", "geomean",
-           "normalised_series"]
+           "JobRecord", "SweepResult", "format_breakdown", "format_table",
+           "geomean", "normalised_series"]

@@ -9,7 +9,8 @@ benches stay pure data producers.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -65,3 +66,145 @@ def normalised_series(times: Dict[str, float],
     values above 1 mean faster than the baseline)."""
     base = times[baseline]
     return {name: base / value for name, value in times.items()}
+
+
+# ----------------------------------------------------------------------
+# sweep aggregation (repro.sweep produces these, the benches consume them)
+# ----------------------------------------------------------------------
+@dataclass
+class JobRecord:
+    """Outcome of one sweep job: its report plus execution bookkeeping.
+
+    ``report`` is the kernel's :class:`repro.core.PerfReport` (``None`` for
+    jobs that only materialise data, e.g. the Table IX suite kernel);
+    ``extras`` carries kernel-specific side outputs such as matrix shapes,
+    dependency-level counts or solve residuals.
+    """
+
+    label: str
+    kernel: str
+    matrix: str
+    report: Optional[Any] = None
+    #: Modelled kernel seconds (``report.seconds``; 0 without a report).
+    seconds: float = 0.0
+    #: Wall-clock seconds the worker spent producing this record.
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+    job: Any = None
+
+    @property
+    def cached(self) -> bool:
+        """True when every pipeline stage came from the artifact cache."""
+        return self.cache_misses == 0 and self.cache_hits > 0
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one sweep run.
+
+    Exposes the observability the sweep runner is built for: per-job
+    modelled and wall times, cache hit/miss counters and how well the
+    worker pool was utilised.
+    """
+
+    records: List[JobRecord]
+    #: Wall-clock seconds of the whole sweep (submission to last result).
+    wall_seconds: float
+    workers: int = 1
+    cache_enabled: bool = True
+    cache_dir: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def labels(self) -> List[str]:
+        return [record.label for record in self.records]
+
+    def record(self, label: str) -> JobRecord:
+        """Look one record up by label; raises ``KeyError`` if unknown."""
+        for record in self.records:
+            if record.label == label:
+                return record
+        raise KeyError(f"no sweep job labelled {label!r}; "
+                       f"have {self.labels}")
+
+    def report(self, label: str) -> Any:
+        """The :class:`PerfReport` of the job labelled *label*."""
+        return self.record(label).report
+
+    # -- cache observability ------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(record.cache_hits for record in self.records)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(record.cache_misses for record in self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every job was served entirely from the cache."""
+        return bool(self.records) and all(record.cached
+                                          for record in self.records)
+
+    # -- worker observability -----------------------------------------
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-occupied seconds across all jobs."""
+        return sum(record.wall_seconds for record in self.records)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Aggregate job time over sweep wall time (1.0 = serial pace)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / self.wall_seconds
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Fraction of the worker pool kept busy over the sweep."""
+        if self.workers <= 0 or self.wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds
+                   / (self.workers * self.wall_seconds))
+
+    # -- rendering -----------------------------------------------------
+    def summary_table(self, title: Optional[str] = None) -> str:
+        """Per-job table plus the sweep-wide totals, as aligned text."""
+        rows = []
+        for record in self.records:
+            model_us = (record.report.seconds * 1e6 if record.report
+                        else float("nan"))
+            rows.append([
+                record.label,
+                "-" if math.isnan(model_us) else f"{model_us:.2f}",
+                record.wall_seconds * 1e3,
+                record.cache_hits,
+                record.cache_misses,
+                record.worker,
+            ])
+        table = format_table(
+            ["job", "model (us)", "wall (ms)", "hits", "misses", "worker"],
+            rows, title=title or "sweep results")
+        cache = (self.cache_dir if self.cache_enabled
+                 else "disabled (--no-cache)")
+        footer = (
+            f"jobs: {len(self.records)}  wall: {self.wall_seconds:.2f} s  "
+            f"workers: {self.workers}  "
+            f"utilisation: {100.0 * self.worker_utilisation:.0f}%  "
+            f"parallel speedup: {self.parallel_speedup:.2f}x\n"
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(hit rate {100.0 * self.hit_rate:.0f}%) at {cache}")
+        return table + "\n" + footer

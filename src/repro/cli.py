@@ -7,6 +7,8 @@ Four subcommands cover the common workflows without writing Python:
 * ``spmv``   — run one SpMV and print the plan, timing and energy.
 * ``sptrsv`` — factorise a suite matrix with ILDU and time both solves.
 * ``app``    — run one Table II application on the GPU and PIM backends.
+* ``sweep``  — run a batch of jobs across worker processes with
+  content-addressed artifact caching (see :mod:`repro.sweep`).
 
 Matrices come from the Table IX registry (``--matrix``) or a Matrix Market
 file (``--mtx``).
@@ -42,6 +44,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); die quietly like a
+        # well-behaved unix tool instead of dumping a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +91,34 @@ def _build_parser() -> argparse.ArgumentParser:
     app.add_argument("name", choices=["bfs", "cc", "pr", "sssp", "tc",
                                       "pcg", "pbicgstab"])
     app.set_defaults(handler=_cmd_app)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a job batch in parallel with artifact caching")
+    sweep.add_argument("--kernel", default="spmv",
+                       choices=["spmv", "sptrsv", "suite"])
+    sweep.add_argument("--matrices", default=None,
+                       help="comma-separated Table IX names (default: the "
+                            "kernel's Table IX assignment)")
+    sweep.add_argument("--scale", type=float, default=None,
+                       help="dimension scale (default: PSYNCPIM_SCALE "
+                            "or 0.05)")
+    sweep.add_argument("--precision", default="fp64",
+                       choices=["fp64", "fp32", "int32", "int16", "int8"])
+    sweep.add_argument("--cubes", type=int, default=1)
+    sweep.add_argument("--platform", default="hbm2",
+                       choices=["hbm2", "gddr6"])
+    sweep.add_argument("--mode", default="ab", choices=["ab", "pb"])
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: PSYNCPIM_WORKERS "
+                            "or min(4, cores); 1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute everything, never touch the cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="artifact cache root (default: "
+                            "PSYNCPIM_CACHE_DIR or ~/.cache/psyncpim)")
+    sweep.add_argument("--energy", action="store_true",
+                       help="price energy alongside cycles")
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 
@@ -195,6 +233,25 @@ def _cmd_sptrsv(args) -> int:
     print(format_table(["factor", "nnz", "levels", "time (us)",
                         "residual"], rows,
                        title="SpTRSV via ILDU on pSyncPIM"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .sweep import run_sweep, suite_jobs
+    matrices = (None if args.matrices is None
+                else [name.strip() for name in args.matrices.split(",")
+                      if name.strip()])
+    jobs = suite_jobs(kernel=args.kernel, matrices=matrices,
+                      scale=args.scale, precision=args.precision,
+                      num_cubes=args.cubes, platform=args.platform,
+                      mode=args.mode, with_energy=args.energy)
+    result = run_sweep(jobs, workers=args.workers,
+                       cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache)
+    kernel = args.kernel
+    print(result.summary_table(
+        title=f"sweep: {len(jobs)} {kernel} jobs over "
+              f"{len(set(job.matrix for job in jobs))} matrices"))
     return 0
 
 

@@ -5,7 +5,8 @@ from .partition import (PartitionPlan, SubMatrix, partition, reassemble,
                         tile_capacity)
 from .distribution import (Assignment, accumulation_traffic_bytes,
                            distribute, replication_traffic_bytes)
-from .spmv import SpmvExecution, SpmvResult, element_bytes, run_spmv
+from .spmv import (SpmvExecution, SpmvResult, element_bytes, plan_spmv,
+                   run_spmv)
 from .sptrsv import (ILDUFactors, SpTrsvExecution, SpTrsvResult, ildu,
                      level_schedule, recursive_plan, reorder_by_levels,
                      run_sptrsv, solve_unit_triangular_reference)
@@ -19,7 +20,7 @@ __all__ = [
     "PartitionPlan", "SubMatrix", "partition", "reassemble",
     "tile_capacity", "Assignment", "accumulation_traffic_bytes",
     "distribute", "replication_traffic_bytes", "SpmvExecution",
-    "SpmvResult", "element_bytes", "run_spmv", "ILDUFactors",
+    "SpmvResult", "element_bytes", "plan_spmv", "run_spmv", "ILDUFactors",
     "SpTrsvExecution", "SpTrsvResult", "ildu", "level_schedule",
     "recursive_plan", "reorder_by_levels", "run_sptrsv",
     "solve_unit_triangular_reference", "TraceParams",

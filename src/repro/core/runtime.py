@@ -112,6 +112,45 @@ class PSyncPIM:
                                  params=self.trace_params)
 
     # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def sweep(self, matrices, kernel: str = "spmv",
+              scale: Optional[float] = None,
+              workers: Optional[int] = None, mode: str = "ab",
+              use_cache: bool = True, cache_dir: Optional[str] = None,
+              with_energy: bool = False, **job_overrides):
+        """Run a batch of (matrix, kernel) jobs in parallel with caching.
+
+        *matrices* is an iterable of Table IX names (or prebuilt
+        :class:`repro.sweep.SweepJob` instances, taken as-is). Jobs
+        inherit this runtime's precision and cube count; ``scale``
+        defaults to the benchmark scale from the environment
+        (``PSYNCPIM_SCALE``). Returns a
+        :class:`repro.analysis.SweepResult` with per-job reports, cache
+        hit/miss counters and worker utilisation.
+
+        Jobs are priced on :func:`repro.config.default_system` (or the
+        GDDR6 platform via ``platform="gddr6"``) for this runtime's cube
+        count; a fully custom ``SystemConfig`` does not transfer to the
+        worker processes.
+        """
+        from ..sweep import SweepJob, resolve_bench_scale, run_sweep
+        if scale is None:
+            scale = resolve_bench_scale()
+        jobs = []
+        for entry in matrices:
+            if isinstance(entry, SweepJob):
+                jobs.append(entry)
+                continue
+            jobs.append(SweepJob(kernel=kernel, matrix=entry, scale=scale,
+                                 precision=self.precision,
+                                 num_cubes=self.config.num_cubes,
+                                 mode=mode, with_energy=with_energy,
+                                 **job_overrides))
+        return run_sweep(jobs, workers=workers, cache_dir=cache_dir,
+                         use_cache=use_cache)
+
+    # ------------------------------------------------------------------
     def backend(self, **kwargs):
         """A :class:`repro.apps.PIMBackend` bound to this configuration."""
         from ..apps import PIMBackend

@@ -92,39 +92,26 @@ def element_bytes(precision: str) -> int:
     return 4 + element_size(precision)
 
 
-def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
-             precision: str = "fp64", compress: bool = True,
-             policy: str = "paper", fidelity: str = "fast",
-             accumulate: str = "add", multiply: str = "mul",
-             y0: Optional[np.ndarray] = None,
-             engine_banks: Optional[int] = None,
-             matrix_format: str = "coo") -> SpmvResult:
-    """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
+def plan_spmv(matrix: COOMatrix, config: SystemConfig,
+              precision: str = "fp64", compress: bool = True,
+              policy: str = "paper", matrix_format: str = "coo",
+              plan: Optional[PartitionPlan] = None,
+              assignment: Optional[Assignment] = None,
+              ) -> "tuple[PartitionPlan, Assignment, SpmvExecution]":
+    """Lay out one SpMV without executing it numerically.
 
-    ``engine_banks`` caps the functional engine size (the plan itself is
-    always laid out over the full ``config.total_units``); it exists because
-    interpreting 256 units in Python is slow while the plan's semantics are
-    bank-count independent per round.
-
-    ``matrix_format`` selects the on-bank representation for the timing
-    model — functional results are format-independent. ``"coo"`` is the
-    paper's HPC default; ``"csr"`` models the §IV-C variant (four index
-    registers + adder); ``"bitmap"`` the §VIII neural-network format.
+    Returns the partition plan, the bank assignment and the
+    :class:`SpmvExecution` record the timing/energy models consume. This is
+    the expensive, data-dependent half of :func:`run_spmv`; the sweep
+    runner calls it directly (optionally injecting a cached *plan* /
+    *assignment*) when only performance numbers are needed.
     """
-    x = np.asarray(x, dtype=np.float64)
-    if x.shape != (matrix.shape[1],):
-        raise ExecutionError("SpMV vector length mismatch")
-    plan = partition(matrix, config, precision=precision, compress=compress)
+    if plan is None:
+        plan = partition(matrix, config, precision=precision,
+                         compress=compress)
     num_banks = config.total_units
-    assignment = distribute(plan, num_banks, policy=policy)
-
-    if fidelity == "fast":
-        y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)
-    elif fidelity == "functional":
-        y = _functional_rounds(matrix, x, assignment, precision,
-                               accumulate, multiply, y0, engine_banks)
-    else:
-        raise ExecutionError(f"unknown fidelity {fidelity!r}")
+    if assignment is None:
+        assignment = distribute(plan, num_banks, policy=policy)
 
     value_bytes = element_size(precision)
     stream_bpe = _stream_bytes_per_element(matrix_format, plan,
@@ -151,6 +138,49 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
             max((t.touched_rows for t in round_tiles if t is not None),
                 default=0) for round_tiles in assignment.rounds],
     )
+    return plan, assignment, execution
+
+
+def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
+             precision: str = "fp64", compress: bool = True,
+             policy: str = "paper", fidelity: str = "fast",
+             accumulate: str = "add", multiply: str = "mul",
+             y0: Optional[np.ndarray] = None,
+             engine_banks: Optional[int] = None,
+             matrix_format: str = "coo",
+             plan: Optional[PartitionPlan] = None,
+             assignment: Optional[Assignment] = None) -> SpmvResult:
+    """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
+
+    ``engine_banks`` caps the functional engine size (the plan itself is
+    always laid out over the full ``config.total_units``); it exists because
+    interpreting 256 units in Python is slow while the plan's semantics are
+    bank-count independent per round.
+
+    ``matrix_format`` selects the on-bank representation for the timing
+    model — functional results are format-independent. ``"coo"`` is the
+    paper's HPC default; ``"csr"`` models the §IV-C variant (four index
+    registers + adder); ``"bitmap"`` the §VIII neural-network format.
+
+    ``plan`` / ``assignment`` inject a previously computed layout (e.g.
+    from the sweep artifact cache) and must have been produced by
+    :func:`plan_spmv` for the same matrix, config and parameters.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.shape[1],):
+        raise ExecutionError("SpMV vector length mismatch")
+    plan, assignment, execution = plan_spmv(
+        matrix, config, precision=precision, compress=compress,
+        policy=policy, matrix_format=matrix_format, plan=plan,
+        assignment=assignment)
+
+    if fidelity == "fast":
+        y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)
+    elif fidelity == "functional":
+        y = _functional_rounds(matrix, x, assignment, precision,
+                               accumulate, multiply, y0, engine_banks)
+    else:
+        raise ExecutionError(f"unknown fidelity {fidelity!r}")
     return SpmvResult(y=y, execution=execution, plan=plan,
                       assignment=assignment)
 

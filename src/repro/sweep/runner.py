@@ -1,0 +1,357 @@
+"""Parallel sweep execution of (matrix, kernel, config) jobs.
+
+A :class:`SweepJob` names everything one experiment run needs — a Table IX
+matrix (regenerated deterministically inside the worker), the kernel, and
+the configuration knobs the paper sweeps. :func:`run_sweep` fans a job list
+out over ``concurrent.futures.ProcessPoolExecutor`` workers; each worker
+walks the standard pipeline (partition/compress -> distribute -> trace ->
+FCFS schedule) through the content-addressed :class:`ArtifactCache`, so
+repeated sweeps, and sweeps that share intermediate stages, skip the
+expensive recomputation entirely.
+
+Caching never changes results: a job's :class:`PerfReport` is
+bitwise-identical whether its artifacts were computed or loaded, because
+every cache key covers the full input content (matrix arrays, kernel
+parameters, timing configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.report import JobRecord, SweepResult
+from ..config import SystemConfig, default_system, gddr6_aim_system
+from ..core.spmv import plan_spmv
+from ..core.sptrsv import ildu, level_schedule, run_sptrsv
+from ..core.timing import PerfReport, price_trace
+from ..core.trace import (TraceParams, spmv_ab_trace, spmv_pb_trace,
+                          sptrsv_ab_trace)
+from ..errors import ExecutionError
+from ..formats import (COOMatrix, generate, matrix_spec,
+                       read_matrix_market, suite_names)
+from .cache import ArtifactCache, default_cache_dir, matrix_digest
+
+#: Environment variables the benchmark/CI harnesses steer sweeps with.
+SCALE_ENV = "PSYNCPIM_SCALE"
+LEGACY_SCALE_ENV = "REPRO_BENCH_SCALE"
+WORKERS_ENV = "PSYNCPIM_WORKERS"
+
+#: Default matrix dimension scale (minutes on a laptop; 1.0 = paper size).
+DEFAULT_SCALE = 0.05
+
+
+def resolve_bench_scale(environ: Optional[Mapping[str, str]] = None,
+                        default: float = DEFAULT_SCALE) -> float:
+    """Benchmark matrix scale: ``PSYNCPIM_SCALE``, then the legacy
+    ``REPRO_BENCH_SCALE``, then *default*.
+
+    CI shrinks whole suites (e.g. Table IX) through this single knob
+    without touching code.
+    """
+    env = os.environ if environ is None else environ
+    for name in (SCALE_ENV, LEGACY_SCALE_ENV):
+        raw = env.get(name)
+        if raw is None or raw == "":
+            continue
+        try:
+            scale = float(raw)
+        except ValueError:
+            raise ExecutionError(f"{name} must be a number, got {raw!r}")
+        if scale <= 0:
+            raise ExecutionError(f"{name} must be positive, got {raw!r}")
+        return scale
+    return default
+
+
+def resolve_workers(environ: Optional[Mapping[str, str]] = None,
+                    default: Optional[int] = None) -> int:
+    """Worker-process count: ``PSYNCPIM_WORKERS`` or min(4, cores)."""
+    env = os.environ if environ is None else environ
+    raw = env.get(WORKERS_ENV)
+    if raw not in (None, ""):
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ExecutionError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}")
+        return max(workers, 1)
+    if default is not None:
+        return max(int(default), 1)
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# job description
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepJob:
+    """One (matrix, kernel, config) experiment of a sweep.
+
+    ``matrix`` is a Table IX name (regenerated at ``scale`` inside the
+    worker) or a ``.mtx`` file path. ``kernel`` selects the pipeline:
+    ``"spmv"`` and ``"sptrsv"`` produce a :class:`PerfReport`;
+    ``"suite"`` only materialises the matrix (Table IX regeneration).
+    """
+
+    kernel: str = "spmv"
+    matrix: str = "poisson3Da"
+    scale: float = DEFAULT_SCALE
+    precision: str = "fp64"
+    num_cubes: int = 1
+    platform: str = "hbm2"          # "hbm2" or "gddr6"
+    mode: str = "ab"                # SpMV: all-bank or per-bank pricing
+    compress: bool = True
+    policy: str = "paper"
+    matrix_format: str = "coo"
+    lower: bool = True              # SpTRSV: which triangular factor
+    seed: int = 0
+    with_energy: bool = False
+    label: str = ""
+
+    def resolved_label(self) -> str:
+        """The job's display/lookup label (stable and distinguishing)."""
+        if self.label:
+            return self.label
+        parts = [f"{self.kernel}:{self.matrix}"]
+        if self.kernel == "sptrsv":
+            parts.append("lower" if self.lower else "upper")
+        if self.mode != "ab":
+            parts.append(self.mode)
+        if self.precision != "fp64":
+            parts.append(self.precision)
+        if self.num_cubes != 1:
+            parts.append(f"x{self.num_cubes}")
+        if self.platform != "hbm2":
+            parts.append(self.platform)
+        return "/".join(parts)
+
+    def system(self) -> SystemConfig:
+        if self.platform == "hbm2":
+            return default_system(self.num_cubes)
+        if self.platform == "gddr6":
+            return gddr6_aim_system(self.num_cubes)
+        raise ExecutionError(f"unknown sweep platform {self.platform!r}")
+
+    def load_matrix(self) -> COOMatrix:
+        if self.matrix.endswith(".mtx"):
+            return read_matrix_market(self.matrix)
+        return generate(self.matrix, scale=self.scale)
+
+
+# ----------------------------------------------------------------------
+# kernel pipelines (run inside the worker, through the artifact cache)
+# ----------------------------------------------------------------------
+def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
+                   ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
+    matrix = job.load_matrix()
+    config = job.system()
+    params = TraceParams()
+    mkey = matrix_digest(matrix)
+
+    plan_key = cache.key("spmv-plan", mkey, config, job.precision,
+                         job.compress, job.policy)
+    plan, assignment = cache.get_or_compute(
+        "plan", plan_key,
+        lambda: plan_spmv(matrix, config, precision=job.precision,
+                          compress=job.compress, policy=job.policy,
+                          matrix_format=job.matrix_format)[:2])
+    _, _, execution = plan_spmv(matrix, config, precision=job.precision,
+                                compress=job.compress, policy=job.policy,
+                                matrix_format=job.matrix_format,
+                                plan=plan, assignment=assignment)
+
+    trace_key = cache.key("spmv-trace", execution, config, params, job.mode)
+    schedule_key = cache.key("spmv-schedule", trace_key, job.with_energy)
+
+    def compute_report() -> PerfReport:
+        synthesise = (spmv_ab_trace if job.mode == "ab" else spmv_pb_trace)
+        trace = cache.get_or_compute(
+            "trace", trace_key,
+            lambda: synthesise(execution, config, params))
+        return price_trace(trace, config, with_energy=job.with_energy,
+                           alu_operations=2 * execution.total_elements,
+                           precision=job.precision)
+
+    report = cache.get_or_compute("schedule", schedule_key, compute_report)
+    extras = {
+        "rows": matrix.shape[0],
+        "cols": matrix.shape[1],
+        "nnz": matrix.nnz,
+        "tiles": len(plan.tiles),
+        "rounds": execution.num_rounds,
+        "banks_used": execution.banks_used,
+        "imbalance": execution.imbalance,
+    }
+    return report, extras
+
+
+def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
+                     ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
+    matrix = job.load_matrix()
+    config = job.system()
+    params = TraceParams()
+    mkey = matrix_digest(matrix)
+
+    factors = cache.get_or_compute("factors", cache.key("ildu", mkey),
+                                   lambda: ildu(matrix))
+    tri = factors.lower if job.lower else factors.upper
+    n = tri.shape[0]
+    b = np.random.default_rng(job.seed).random(n)
+
+    solve_key = cache.key("sptrsv-solve", mkey, job.lower, config,
+                          job.precision, job.seed)
+
+    def compute_solve():
+        result = run_sptrsv(tri, b, config, lower=job.lower,
+                            precision=job.precision)
+        levels = len(level_schedule(tri, lower=job.lower))
+        return result.execution, result.x, levels
+
+    execution, x, levels = cache.get_or_compute("solve", solve_key,
+                                                compute_solve)
+    residual = float(np.abs(tri.matvec(x) - b).max())
+
+    trace_key = cache.key("sptrsv-trace", solve_key, params)
+    schedule_key = cache.key("sptrsv-schedule", trace_key, job.with_energy)
+
+    def compute_report() -> PerfReport:
+        trace = cache.get_or_compute(
+            "trace", trace_key,
+            lambda: sptrsv_ab_trace(execution, config, params))
+        return price_trace(trace, config, with_energy=job.with_energy,
+                           alu_operations=2 * execution.total_elements,
+                           precision=job.precision)
+
+    report = cache.get_or_compute("schedule", schedule_key, compute_report)
+    extras = {
+        "dimension": n,
+        "nnz": tri.nnz,
+        "levels": levels,
+        "residual": residual,
+        "factor": "lower" if job.lower else "upper",
+    }
+    return report, extras
+
+
+def _suite_pipeline(job: SweepJob, cache: ArtifactCache,
+                    ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
+    key = cache.key("suite-matrix", job.matrix, job.scale)
+    matrix = cache.get_or_compute("matrix", key, job.load_matrix)
+    extras: Dict[str, Any] = {
+        "matrix": matrix,
+        "rows": matrix.shape[0],
+        "cols": matrix.shape[1],
+        "nnz": matrix.nnz,
+        "density": matrix.density,
+    }
+    if not job.matrix.endswith(".mtx"):
+        spec = matrix_spec(job.matrix)
+        extras["paper_dimension"] = spec.dimension
+        extras["paper_density"] = spec.density
+        extras["kind"] = spec.kind
+    return None, extras
+
+
+_PIPELINES = {
+    "spmv": _spmv_pipeline,
+    "sptrsv": _sptrsv_pipeline,
+    "suite": _suite_pipeline,
+}
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def execute_job(job: SweepJob,
+                cache_dir: Optional[Union[str, os.PathLike]] = None,
+                use_cache: bool = True) -> JobRecord:
+    """Run one job through its cached pipeline (worker entry point)."""
+    try:
+        pipeline = _PIPELINES[job.kernel]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown sweep kernel {job.kernel!r}; "
+            f"expected one of {sorted(_PIPELINES)}") from None
+    cache = ArtifactCache(cache_dir, enabled=use_cache)
+    start = time.perf_counter()
+    report, extras = pipeline(job, cache)
+    wall = time.perf_counter() - start
+    return JobRecord(label=job.resolved_label(), kernel=job.kernel,
+                     matrix=job.matrix, report=report,
+                     seconds=report.seconds if report else 0.0,
+                     wall_seconds=wall, cache_hits=cache.hit_count,
+                     cache_misses=cache.miss_count,
+                     worker=f"pid-{os.getpid()}", extras=extras, job=job)
+
+
+def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
+              cache_dir: Optional[Union[str, os.PathLike]] = None,
+              use_cache: bool = True) -> SweepResult:
+    """Execute *jobs* across worker processes and aggregate the outcomes.
+
+    ``workers=None`` resolves via :func:`resolve_workers`
+    (``PSYNCPIM_WORKERS`` or min(4, cores)); ``workers<=1`` runs serially
+    in-process, which is also the fallback for single-job sweeps. Job order
+    is preserved in the result. ``use_cache=False`` is the ``--no-cache``
+    escape hatch: everything recomputes, nothing touches disk.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(default=workers) if workers is None \
+        else max(int(workers), 1)
+    workers = min(workers, max(len(jobs), 1))
+    start = time.perf_counter()
+    if workers <= 1:
+        records = [execute_job(job, cache_dir, use_cache) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(execute_job, job, cache_dir, use_cache)
+                       for job in jobs]
+            records = [future.result() for future in futures]
+    wall = time.perf_counter() - start
+    root = ArtifactCache(cache_dir, enabled=use_cache).root
+    return SweepResult(records=records, wall_seconds=wall, workers=workers,
+                       cache_enabled=use_cache, cache_dir=str(root))
+
+
+def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
+               scale: Optional[float] = None, **overrides: Any,
+               ) -> "list[SweepJob]":
+    """Build the job list for a Table IX sweep.
+
+    With no explicit *matrices*, SpMV and SpTRSV sweeps cover their Table
+    IX kernel assignments and the ``suite`` kernel covers all 26 matrices.
+    For SpTRSV both triangular factors are swept (the Fig. 9 protocol)
+    unless ``lower`` is pinned via *overrides*.
+    """
+    from ..formats import matrices_for
+    if matrices is None:
+        if kernel == "suite":
+            matrices = suite_names()
+        elif kernel in ("spmv", "sptrsv"):
+            matrices = matrices_for(kernel)
+        else:
+            raise ExecutionError(
+                f"no default matrix list for kernel {kernel!r}")
+    scale = resolve_bench_scale() if scale is None else scale
+    jobs = []
+    for name in matrices:
+        if kernel == "sptrsv" and "lower" not in overrides:
+            jobs.append(SweepJob(kernel=kernel, matrix=name, scale=scale,
+                                 lower=True, **overrides))
+            jobs.append(SweepJob(kernel=kernel, matrix=name, scale=scale,
+                                 lower=False, **overrides))
+        else:
+            jobs.append(SweepJob(kernel=kernel, matrix=name, scale=scale,
+                                 **overrides))
+    return jobs
+
+
+__all__ = ["SweepJob", "execute_job", "run_sweep", "suite_jobs",
+           "resolve_bench_scale", "resolve_workers", "default_cache_dir",
+           "DEFAULT_SCALE", "SCALE_ENV", "LEGACY_SCALE_ENV", "WORKERS_ENV"]

@@ -11,6 +11,10 @@ from pathlib import Path
 
 import pytest
 
+#: Each example is a full end-to-end scenario (several seconds apiece);
+#: tier-1 CI deselects them and the smoke job runs them.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 

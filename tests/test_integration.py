@@ -46,6 +46,7 @@ class TestSuiteWideSpmv:
         np.testing.assert_allclose(result.y, expect)
 
 
+@pytest.mark.slow
 class TestSuiteWideSolvers:
     @pytest.mark.parametrize("name", matrices_for("pcg"))
     def test_pcg_on_suite_matrices(self, name):

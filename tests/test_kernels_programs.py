@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa import MAX_INSTRUCTIONS, Opcode, Program
+from repro.isa import MAX_INSTRUCTIONS, Program
 from repro.kernels import programs
 from repro.pim import beat_signature, expected_beats
 

@@ -1,0 +1,325 @@
+"""Tests for repro.sweep — parallel sweeps with artifact caching."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import PSyncPIM
+from repro.analysis import SweepResult
+from repro.config import default_system
+from repro.core import plan_spmv, run_spmv, time_spmv
+from repro.errors import ExecutionError
+from repro.formats import generate
+from repro.sweep import (CACHE_DIR_ENV, LEGACY_SCALE_ENV, SCALE_ENV,
+                         WORKERS_ENV, ArtifactCache, SweepJob,
+                         default_cache_dir, execute_job, matrix_digest,
+                         resolve_bench_scale, resolve_workers, run_sweep,
+                         stable_digest, suite_jobs)
+
+MATRIX = "facebook"
+SCALE = 0.05
+
+
+def spmv_job(matrix=MATRIX, **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    return SweepJob(kernel="spmv", matrix=matrix, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# stable digests
+# ----------------------------------------------------------------------
+class TestStableDigest:
+    def test_deterministic_across_calls(self):
+        cfg = default_system()
+        assert stable_digest(cfg, 1.5, "x") == stable_digest(cfg, 1.5, "x")
+
+    def test_distinguishes_values_and_types(self):
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest("ab", "c") != stable_digest("a", "bc")
+        assert stable_digest(None) != stable_digest(0)
+
+    def test_matrix_digest_tracks_content(self):
+        a = generate(MATRIX, scale=SCALE)
+        b = generate(MATRIX, scale=SCALE)
+        assert matrix_digest(a) == matrix_digest(b)
+        changed = a.copy()
+        changed.vals[0] += 1.0
+        assert matrix_digest(changed) != matrix_digest(a)
+
+    def test_array_digest_covers_dtype_and_shape(self):
+        data = np.arange(6, dtype=np.int64)
+        assert stable_digest(data) != stable_digest(data.astype(np.float64))
+        assert stable_digest(data) != stable_digest(data.reshape(2, 3))
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+
+# ----------------------------------------------------------------------
+# the artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+        key = cache.key("k")
+        for _ in range(2):
+            value = cache.get_or_compute("plan", key,
+                                         lambda: calls.append(1) or 42)
+        assert value == 42
+        assert len(calls) == 1
+        assert cache.hits == {"plan": 1}
+        assert cache.misses == {"plan": 1}
+        assert cache.counters() == {"plan": (1, 1)}
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ArtifactCache(tmp_path, enabled=False)
+        key = cache.key("k")
+        assert cache.get_or_compute("plan", key, lambda: 1) == 1
+        assert cache.get_or_compute("plan", key, lambda: 2) == 2
+        assert cache.hit_count == 0 and cache.miss_count == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("k")
+        cache.get_or_compute("plan", key, lambda: 7)
+        cache.path("plan", key).write_bytes(b"not a pickle")
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get_or_compute("plan", key, lambda: 7) == 7
+        assert fresh.miss_count == 1
+        # and the entry healed: a third cache now hits
+        assert ArtifactCache(tmp_path).load("plan", key) == 7
+
+    def test_env_var_resolves_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ArtifactCache().root == tmp_path / "custom"
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("plan", cache.key("a"), 1)
+        cache.store("trace", cache.key("b"), 2)
+        assert cache.clear() == 2
+        assert not cache.path("plan", cache.key("a")).exists()
+        assert not cache.path("trace", cache.key("b")).exists()
+
+
+# ----------------------------------------------------------------------
+# environment knobs (the CI escape hatches)
+# ----------------------------------------------------------------------
+class TestEnvironmentKnobs:
+    def test_scale_default(self):
+        assert resolve_bench_scale(environ={}) == pytest.approx(0.05)
+
+    def test_psyncpim_scale_overrides(self):
+        env = {SCALE_ENV: "0.02", LEGACY_SCALE_ENV: "0.5"}
+        assert resolve_bench_scale(environ=env) == pytest.approx(0.02)
+
+    def test_legacy_scale_still_honoured(self):
+        env = {LEGACY_SCALE_ENV: "0.25"}
+        assert resolve_bench_scale(environ=env) == pytest.approx(0.25)
+
+    def test_scale_override_via_process_env(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV, "0.125")
+        assert resolve_bench_scale() == pytest.approx(0.125)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ExecutionError):
+            resolve_bench_scale(environ={SCALE_ENV: "tiny"})
+        with pytest.raises(ExecutionError):
+            resolve_bench_scale(environ={SCALE_ENV: "-1"})
+
+    def test_workers_env_and_floor(self):
+        assert resolve_workers(environ={WORKERS_ENV: "7"}) == 7
+        assert resolve_workers(environ={WORKERS_ENV: "0"}) == 1
+        assert resolve_workers(environ={}, default=3) == 3
+        assert resolve_workers(environ={}) >= 1
+        with pytest.raises(ExecutionError):
+            resolve_workers(environ={WORKERS_ENV: "many"})
+
+
+# ----------------------------------------------------------------------
+# job execution
+# ----------------------------------------------------------------------
+class TestExecuteJob:
+    def test_spmv_matches_direct_pipeline(self, tmp_path):
+        record = execute_job(spmv_job(), cache_dir=tmp_path)
+        matrix = generate(MATRIX, scale=SCALE)
+        cfg = default_system()
+        _, _, execution = plan_spmv(matrix, cfg)
+        expected = time_spmv(execution, cfg)
+        assert record.report == expected
+        assert record.seconds == expected.seconds
+        assert record.extras["nnz"] == matrix.nnz
+        assert record.extras["rows"] == matrix.shape[0]
+
+    def test_pb_mode_costs_more(self, tmp_path):
+        ab = execute_job(spmv_job(), cache_dir=tmp_path)
+        pb = execute_job(spmv_job(mode="pb"), cache_dir=tmp_path)
+        assert pb.report.seconds > ab.report.seconds
+
+    def test_sptrsv_solves_and_prices(self, tmp_path):
+        record = execute_job(SweepJob(kernel="sptrsv", matrix="poisson3Da",
+                                      scale=SCALE), cache_dir=tmp_path)
+        assert record.report.seconds > 0
+        assert record.extras["residual"] < 1e-8
+        assert record.extras["levels"] >= 1
+        assert record.label == "sptrsv:poisson3Da/lower"
+
+    def test_suite_kernel_materialises_matrix(self, tmp_path):
+        record = execute_job(SweepJob(kernel="suite", matrix=MATRIX,
+                                      scale=SCALE), cache_dir=tmp_path)
+        assert record.report is None
+        assert record.extras["matrix"] == generate(MATRIX, scale=SCALE)
+        assert record.extras["kind"]
+
+    def test_unknown_kernel_raises(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            execute_job(SweepJob(kernel="spgemm"), cache_dir=tmp_path)
+
+    def test_energy_rides_on_cached_trace(self, tmp_path):
+        plain = execute_job(spmv_job(), cache_dir=tmp_path)
+        assert plain.report.energy is None
+        energetic = execute_job(spmv_job(with_energy=True),
+                                cache_dir=tmp_path)
+        assert energetic.report.energy is not None
+        # same schedule, differently priced: the trace stage was reused
+        assert energetic.report.cycles == plain.report.cycles
+
+
+# ----------------------------------------------------------------------
+# sweeps: caching semantics and aggregation
+# ----------------------------------------------------------------------
+class TestRunSweep:
+    def test_cached_rerun_hits_everywhere_and_is_bitwise_identical(
+            self, tmp_path):
+        jobs = [spmv_job(), spmv_job(num_cubes=3), spmv_job(mode="pb")]
+        cold = run_sweep(jobs, workers=1, cache_dir=tmp_path)
+        warm = run_sweep(jobs, workers=1, cache_dir=tmp_path)
+        uncached = run_sweep(jobs, workers=1, cache_dir=tmp_path,
+                             use_cache=False)
+        # first job is fully cold; the pb job then reuses the shared plan
+        assert cold.records[0].cache_hits == 0
+        assert cold.cache_misses > 0 and not cold.all_cached
+        assert warm.all_cached and warm.cache_misses == 0
+        assert not uncached.cache_enabled
+        for label in cold.labels:
+            # PerfReport dataclasses compare field-by-field, energy and
+            # command counts included: cached == recomputed, bit for bit.
+            assert warm.report(label) == cold.report(label)
+            assert uncached.report(label) == cold.report(label)
+
+    def test_order_and_labels_preserved(self, tmp_path):
+        jobs = [spmv_job(), spmv_job(matrix="wiki-Vote")]
+        result = run_sweep(jobs, workers=1, cache_dir=tmp_path)
+        assert result.labels == [f"spmv:{MATRIX}", "spmv:wiki-Vote"]
+        assert [record.matrix for record in result] == [MATRIX, "wiki-Vote"]
+        with pytest.raises(KeyError):
+            result.record("spmv:nonesuch")
+
+    def test_process_pool_matches_serial(self, tmp_path):
+        jobs = [spmv_job(), spmv_job(matrix="wiki-Vote"),
+                spmv_job(matrix="ca-CondMat")]
+        serial = run_sweep(jobs, workers=1, cache_dir=tmp_path / "serial")
+        pooled = run_sweep(jobs, workers=2, cache_dir=tmp_path / "pooled")
+        assert pooled.workers == 2
+        for label in serial.labels:
+            assert pooled.report(label) == serial.report(label)
+
+    def test_aggregation_metrics(self, tmp_path):
+        result = run_sweep([spmv_job(), spmv_job(matrix="wiki-Vote")],
+                           workers=1, cache_dir=tmp_path)
+        assert len(result) == 2
+        assert result.busy_seconds > 0
+        assert result.wall_seconds >= result.busy_seconds * 0.5
+        assert 0.0 < result.worker_utilisation <= 1.0
+        assert 0.0 <= result.hit_rate <= 1.0
+        text = result.summary_table()
+        assert f"spmv:{MATRIX}" in text
+        assert "utilisation" in text and "hit rate" in text
+
+    def test_records_pickle_roundtrip(self, tmp_path):
+        record = execute_job(spmv_job(), cache_dir=tmp_path)
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone.report == record.report
+        assert clone.label == record.label
+
+    def test_suite_jobs_expands_sptrsv_factors(self):
+        jobs = suite_jobs(kernel="sptrsv", matrices=["poisson3Da"],
+                          scale=SCALE)
+        assert [job.lower for job in jobs] == [True, False]
+        jobs = suite_jobs(kernel="spmv", matrices=["cant"], scale=SCALE)
+        assert len(jobs) == 1
+        assert suite_jobs(kernel="suite", scale=SCALE)[0].kernel == "suite"
+        with pytest.raises(ExecutionError):
+            suite_jobs(kernel="bogus")
+
+
+# ----------------------------------------------------------------------
+# runtime and CLI surfaces
+# ----------------------------------------------------------------------
+class TestRuntimeSweep:
+    def test_psyncpim_sweep_inherits_runtime_settings(self, tmp_path):
+        pim = PSyncPIM(num_cubes=3, precision="fp32")
+        result = pim.sweep([MATRIX], scale=SCALE, workers=1,
+                           cache_dir=tmp_path)
+        assert isinstance(result, SweepResult)
+        record = result.records[0]
+        assert record.job.num_cubes == 3
+        assert record.job.precision == "fp32"
+        # 3 cubes triple the banks: same matrix spreads further
+        solo = run_spmv(generate(MATRIX, scale=SCALE),
+                        np.ones(generate(MATRIX, scale=SCALE).shape[1]),
+                        default_system(3), precision="fp32")
+        assert record.extras["rounds"] == solo.execution.num_rounds
+
+    def test_prebuilt_jobs_pass_through(self, tmp_path):
+        job = SweepJob(kernel="suite", matrix=MATRIX, scale=SCALE)
+        result = PSyncPIM().sweep([job], workers=1, cache_dir=tmp_path)
+        assert result.labels == [f"suite:{MATRIX}"]
+
+
+class TestSweepCli:
+    def run_cli(self, capsys, *argv):
+        from repro.cli import main
+        code = main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_sweep_verb_prints_summary(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys, "sweep", "--matrices", f"{MATRIX},wiki-Vote",
+            "--scale", str(SCALE), "--workers", "1",
+            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "2 spmv jobs over 2 matrices" in out
+        assert f"spmv:{MATRIX}" in out
+        assert "misses" in out
+
+    def test_second_sweep_reports_cache_hits(self, capsys, tmp_path):
+        args = ("sweep", "--matrices", MATRIX, "--scale", str(SCALE),
+                "--workers", "1", "--cache-dir", str(tmp_path))
+        self.run_cli(capsys, *args)
+        code, out = self.run_cli(capsys, *args)
+        assert code == 0
+        assert "hit rate 100%" in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys, "sweep", "--matrices", MATRIX, "--scale", str(SCALE),
+            "--workers", "1", "--cache-dir", str(tmp_path), "--no-cache")
+        assert code == 0
+        assert "disabled (--no-cache)" in out
+        assert not any(tmp_path.iterdir())
+
+    def test_sptrsv_sweep_covers_both_factors(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys, "sweep", "--kernel", "sptrsv", "--matrices",
+            "poisson3Da", "--scale", str(SCALE), "--workers", "1",
+            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "sptrsv:poisson3Da/lower" in out
+        assert "sptrsv:poisson3Da/upper" in out

@@ -1,0 +1,94 @@
+"""Engine microbenchmark: vectorized lane engine vs the scalar oracle.
+
+Times the two hot loops this optimisation targets — functional SpMV /
+SpTRSV execution (per-beat PU interpretation) and DRAM trace pricing
+(per-command issue) — under both implementations at ``PSYNCPIM_SCALE``,
+asserts the results stay bitwise identical, and writes the measurements
+to ``benchmarks/results/BENCH_engine.json`` for the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from conftest import BENCH_SCALE, RESULTS_DIR, bench_matrix, bench_vector
+from repro.config import default_system
+from repro.core import price_trace, run_spmv, run_sptrsv, spmv_ab_trace
+from repro.dram import expand_trace
+from repro.formats.generators import uniform_random, unit_lower_from
+
+CFG = default_system()
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_engine_microbenchmark():
+    matrix = bench_matrix("facebook")
+    x = bench_vector(matrix.shape[1], seed=1)
+    low = unit_lower_from(
+        uniform_random(max(64, int(1200 * BENCH_SCALE * 4)),
+                       max(64, int(1200 * BENCH_SCALE * 4)),
+                       0.02, seed=2), seed=3)
+    b = bench_vector(low.shape[0], seed=2)
+
+    bench = {"scale": BENCH_SCALE, "times": {}, "speedups": {}}
+
+    # --- functional SpMV: the per-beat interpreter hot loop -----------
+    t_scalar, r_scalar = _best_of(
+        lambda: run_spmv(matrix, x, CFG, fidelity="functional",
+                         engine="scalar"))
+    t_lane, r_lane = _best_of(
+        lambda: run_spmv(matrix, x, CFG, fidelity="functional",
+                         engine="lane"))
+    assert np.array_equal(r_scalar.y, r_lane.y), \
+        "lane engine diverged from the scalar oracle on SpMV"
+    bench["times"]["spmv_scalar_s"] = t_scalar
+    bench["times"]["spmv_lane_s"] = t_lane
+    bench["speedups"]["spmv"] = t_scalar / t_lane
+
+    # --- functional SpTRSV --------------------------------------------
+    t_scalar, r_scalar = _best_of(
+        lambda: run_sptrsv(low, b, CFG, fidelity="functional",
+                           engine="scalar"), repeats=2)
+    t_lane, r_lane = _best_of(
+        lambda: run_sptrsv(low, b, CFG, fidelity="functional",
+                           engine="lane"), repeats=2)
+    assert np.array_equal(r_scalar.x, r_lane.x), \
+        "lane engine diverged from the scalar oracle on SpTRSV"
+    bench["times"]["sptrsv_scalar_s"] = t_scalar
+    bench["times"]["sptrsv_lane_s"] = t_lane
+    bench["speedups"]["sptrsv"] = t_scalar / t_lane
+
+    # --- trace pricing: run-length batching vs per-command issue ------
+    execution = run_spmv(matrix, x, CFG).execution
+    trace = spmv_ab_trace(execution, CFG)
+    expanded = list(expand_trace(trace))
+    t_percmd, p_percmd = _best_of(lambda: price_trace(expanded, CFG))
+    t_batched, p_batched = _best_of(lambda: price_trace(trace, CFG))
+    assert p_batched.cycles == p_percmd.cycles
+    assert p_batched.counts == p_percmd.counts
+    bench["times"]["pricing_percommand_s"] = t_percmd
+    bench["times"]["pricing_batched_s"] = t_batched
+    bench["speedups"]["pricing"] = t_percmd / t_batched
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_engine.json"
+    out.write_text(json.dumps(bench, indent=2) + "\n", encoding="utf-8")
+
+    # The lane engine must never lose to the scalar oracle; at default
+    # scale and above the SpMV hot loop must clear the 5x target.
+    assert bench["speedups"]["spmv"] > 1.0, bench
+    assert bench["speedups"]["sptrsv"] > 1.0, bench
+    assert bench["speedups"]["pricing"] > 1.0, bench
+    if BENCH_SCALE >= 0.05:
+        assert bench["speedups"]["spmv"] >= 5.0, bench

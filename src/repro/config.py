@@ -18,10 +18,36 @@ computed properties so a config can never be internally inconsistent once
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from .errors import ConfigError
+
+#: Environment variable selecting the functional execution engine.
+ENGINE_ENV = "PSYNCPIM_ENGINE"
+
+#: Engines the functional tier can run on: the vectorized lane engine
+#: (default) and the scalar reference oracle.
+ENGINE_CHOICES = ("lane", "scalar")
+
+#: Engine used when neither the caller nor the environment chooses one.
+DEFAULT_ENGINE = "lane"
+
+
+def resolve_engine(explicit: Optional[str] = None) -> str:
+    """Resolve the functional engine: explicit arg > env var > default.
+
+    Raises :class:`ConfigError` for unknown engine names so typos fail
+    loudly instead of silently falling back to a different simulator.
+    """
+    name = explicit if explicit is not None \
+        else os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
+    name = name.strip().lower()
+    if name not in ENGINE_CHOICES:
+        raise ConfigError(f"unknown engine {name!r}; expected one of "
+                          f"{list(ENGINE_CHOICES)}")
+    return name
 
 #: Precision name -> element size in bytes, for every precision the VALU
 #: supports (Table VIII: INT8 through FP64).

@@ -25,7 +25,7 @@ from ..config import SystemConfig, element_size
 from ..errors import ExecutionError
 from ..formats import COOMatrix
 from ..kernels import Tile, run_tile_round
-from ..pim import AllBankEngine
+from ..pim import make_engine
 from .distribution import (Assignment, accumulation_traffic_bytes,
                            distribute, replication_traffic_bytes)
 from .partition import PartitionPlan, partition
@@ -149,7 +149,8 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
              engine_banks: Optional[int] = None,
              matrix_format: str = "coo",
              plan: Optional[PartitionPlan] = None,
-             assignment: Optional[Assignment] = None) -> SpmvResult:
+             assignment: Optional[Assignment] = None,
+             engine: Optional[str] = None) -> SpmvResult:
     """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
 
     ``engine_banks`` caps the functional engine size (the plan itself is
@@ -178,7 +179,8 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
         y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)
     elif fidelity == "functional":
         y = _functional_rounds(matrix, x, assignment, precision,
-                               accumulate, multiply, y0, engine_banks)
+                               accumulate, multiply, y0, engine_banks,
+                               engine)
     else:
         raise ExecutionError(f"unknown fidelity {fidelity!r}")
     return SpmvResult(y=y, execution=execution, plan=plan,
@@ -253,7 +255,8 @@ _MERGE = {"add": (0.0, np.add), "sub": (0.0, np.add),
 
 def _functional_rounds(matrix, x, assignment: Assignment, precision,
                        accumulate, multiply, y0,
-                       engine_banks: Optional[int]) -> np.ndarray:
+                       engine_banks: Optional[int],
+                       engine_name: Optional[str] = None) -> np.ndarray:
     y = (np.zeros(matrix.shape[0]) if y0 is None
          else np.asarray(y0, dtype=np.float64).copy())
     try:
@@ -271,7 +274,8 @@ def _functional_rounds(matrix, x, assignment: Assignment, precision,
         # because banks never interact within a round.
         waves = [active[i:i + width] for i in range(0, len(active), width)]
         for wave in waves:
-            engine = AllBankEngine(num_banks=len(wave), precision=precision)
+            engine = make_engine(num_banks=len(wave), precision=precision,
+                                 engine=engine_name)
             tiles = [Tile(t.rows, t.cols, t.vals, t.x_segment(x),
                           t.y_length) for _, t in wave]
             result = run_tile_round(engine, tiles, accumulate=accumulate,

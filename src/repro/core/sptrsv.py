@@ -29,7 +29,7 @@ from ..config import SystemConfig
 from ..errors import ExecutionError, MappingError, SolverError
 from ..formats import COOMatrix, CSRMatrix
 from ..kernels import Tile, run_tile_round
-from ..pim import AllBankEngine
+from ..pim import make_engine
 from .partition import tile_capacity
 
 # ----------------------------------------------------------------------
@@ -275,7 +275,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                lower: bool = True, precision: str = "fp64",
                fidelity: str = "fast", reorder: bool = True,
                leaf_size: Optional[int] = None,
-               engine_banks: Optional[int] = None) -> SpTrsvResult:
+               engine_banks: Optional[int] = None,
+               engine: Optional[str] = None) -> SpTrsvResult:
     """Solve ``T x = b`` for unit triangular T on the pSyncPIM model.
 
     Upper solves are run as lower solves on the reversed ordering
@@ -299,7 +300,7 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
         result = run_sptrsv(flipped, b[::-1].copy(), config, lower=True,
                             precision=precision, fidelity=fidelity,
                             reorder=reorder, leaf_size=leaf_size,
-                            engine_banks=engine_banks)
+                            engine_banks=engine_banks, engine=engine)
         result.x = result.x[::-1].copy()
         return result
 
@@ -321,10 +322,10 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
     for step in plan:
         if step.kind == "update":
             _apply_update(strict, rhs, step, config, precision, fidelity,
-                          engine_banks, execution)
+                          engine_banks, execution, engine)
         else:
             _solve_leaf(csr_cols, rhs, step, config, precision, fidelity,
-                        engine_banks, execution)
+                        engine_banks, execution, engine)
 
     x = rhs
     if perm is not None:
@@ -336,7 +337,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
 
 def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
                   config, precision, fidelity, engine_banks,
-                  execution: SpTrsvExecution) -> None:
+                  execution: SpTrsvExecution,
+                  engine: Optional[str] = None) -> None:
     """b1 -= M @ x0 (Eq. 3's SpMV between the two recursive solves)."""
     from .spmv import run_spmv  # local import: spmv <-> sptrsv layering
     r0, r1 = step.row_range
@@ -346,7 +348,8 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
         return
     result = run_spmv(block, rhs[c0:c1], config, precision=precision,
                       fidelity=fidelity, accumulate="sub",
-                      y0=rhs[r0:r1], engine_banks=engine_banks)
+                      y0=rhs[r0:r1], engine_banks=engine_banks,
+                      engine=engine)
     rhs[r0:r1] = result.y
     execution.update_elements.append(block.nnz)
     execution.update_batches.append(result.execution.num_rounds)
@@ -355,7 +358,8 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
 
 def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
                 config, precision, fidelity, engine_banks,
-                execution: SpTrsvExecution) -> None:
+                execution: SpTrsvExecution,
+                engine: Optional[str] = None) -> None:
     """Algorithm 3 with level batching inside one diagonal block."""
     lo, hi = step.row_range
     width = hi - lo
@@ -400,7 +404,7 @@ def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
                 np.subtract.at(rhs, lo + rows, vals * scales[lcols])
             else:
                 _leaf_level_functional(per_bank, scales, rhs, lo, width,
-                                       precision, engine_banks)
+                                       precision, engine_banks, engine)
         else:
             execution.level_batches.append(0)
         execution.level_elements.append(int(rows.size))
@@ -420,13 +424,15 @@ def _split_rows(rows, cols, vals, num_banks):
 
 
 def _leaf_level_functional(per_bank, scales, rhs, lo, width, precision,
-                           engine_banks) -> None:
+                           engine_banks,
+                           engine_name: Optional[str] = None) -> None:
     """Run one level on the instruction-accurate engine."""
     width_banks = min(len(per_bank), engine_banks or len(per_bank))
     waves = [per_bank[i:i + width_banks]
              for i in range(0, len(per_bank), width_banks)]
     for wave in waves:
-        engine = AllBankEngine(num_banks=len(wave), precision=precision)
+        engine = make_engine(num_banks=len(wave), precision=precision,
+                             engine=engine_name)
         tiles = [Tile(rows, cols, vals, scales, width)
                  for rows, cols, vals in wave]
         result = run_tile_round(engine, tiles, accumulate="sub")

@@ -11,8 +11,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import SystemConfig
-from ..dram import (Command, CommandType, EnergyReport, MemoryController,
-                    TimingParams)
+from ..dram import (CommandType, EnergyReport, MemoryController,
+                    TimingParams, TraceEntry, as_run)
 from ..errors import ExecutionError
 from .spmv import SpmvExecution
 from .sptrsv import SpTrsvExecution
@@ -47,13 +47,13 @@ class PerfReport:
         return self.cycles - self.host_cycles
 
 
-def price_trace(trace: List[Command], config: SystemConfig,
+def price_trace(trace: List[TraceEntry], config: SystemConfig,
                 timing: TimingParams = TimingParams(),
                 with_energy: bool = False, alu_operations: int = 0,
                 precision: str = "fp64",
                 enable_refresh: bool = True) -> PerfReport:
     """Schedule *trace* on one channel and collect cycles and energy."""
-    host_columns = sum(1 for cmd in trace
+    host_columns = sum(count for cmd, count in map(as_run, trace)
                        if cmd.kind.is_column and cmd.tag in HOST_TAGS)
     controller = MemoryController(timing=timing, num_channels=16,
                                   enable_refresh=enable_refresh)

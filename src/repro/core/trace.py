@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from ..config import SystemConfig, element_size
-from ..dram import Command, CommandType
+from ..dram import Command, CommandRun, CommandType, TraceEntry
 from ..errors import MappingError
 from .spmv import SpmvExecution, element_bytes
 from .sptrsv import SpTrsvExecution
@@ -108,6 +108,21 @@ def _column(all_bank: bool, write: bool, row: int, col: int = 0,
     return Command(kind, bank=bank, row=row, col=col % 64, tag=tag)
 
 
+def _column_run(all_bank: bool, write: bool, row: int, count: int,
+                col: int = 0, bank: int = 0,
+                tag: str = None) -> List[TraceEntry]:
+    """*count* consecutive column beats as one run (closed-form pricing).
+
+    The scheduler never reads ``col`` when computing issue cycles, so the
+    run carries its first beat's column as representative; cycles, counters
+    and tag attributions match the per-command expansion exactly.
+    """
+    if count <= 0:
+        return []
+    command = _column(all_bank, write, row, col, bank=bank, tag=tag)
+    return [command] if count == 1 else [CommandRun(command, count)]
+
+
 # ----------------------------------------------------------------------
 # building blocks
 # ----------------------------------------------------------------------
@@ -115,34 +130,32 @@ def mode_switch() -> List[Command]:
     return [Command(CommandType.MODE)]
 
 
-def program_load(params: TraceParams) -> List[Command]:
+def program_load(params: TraceParams) -> List[TraceEntry]:
     """AB-mode write of the kernel into the control registers."""
-    trace = [Command(CommandType.ACT_AB, row=PROGRAM_ROW)]
+    trace: List[TraceEntry] = [Command(CommandType.ACT_AB, row=PROGRAM_ROW)]
     words = _beats(params.program_instructions * 4)
-    trace += [_column(True, True, PROGRAM_ROW, c, tag="program")
-              for c in range(words)]
+    trace += _column_run(True, True, PROGRAM_ROW, words, tag="program")
     trace.append(Command(CommandType.PRE_AB))
     return trace
 
 
 def host_stage(bytes_per_bank: float, write: bool, row: int,
-               tag: str) -> List[Command]:
+               tag: str) -> List[TraceEntry]:
     """SB-mode host traffic: stage/collect one region on all 16 banks."""
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     beats = _beats(bytes_per_bank)
     if beats == 0:
         return trace
     for bank in range(16):
         trace.append(Command(CommandType.ACT, bank=bank, row=row))
-        trace += [_column(False, write, row, c, bank=bank, tag=tag)
-                  for c in range(beats)]
+        trace += _column_run(False, write, row, beats, bank=bank, tag=tag)
         trace.append(Command(CommandType.PRE, bank=bank))
     return trace
 
 
 def _kernel_batches(batches: int, batch_elems: int, eb: float,
                     params: TraceParams, all_bank: bool,
-                    bank: int = 0, y_bytes: int = 1024) -> List[Command]:
+                    bank: int = 0, y_bytes: int = 1024) -> List[TraceEntry]:
     """The AB-PIM (or PB) phase schedule for one tile stream.
 
     Per queue batch: stream the COO elements from the matrix rows, then
@@ -152,7 +165,7 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
     flushed (read-modify-write on the output row) only when it moves —
     amortising output row visits over many batches.
     """
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     cursor = _RowCursor(all_bank, bank=bank)
     mat_bytes_done = 0
     gather_beats = max(1, round(batch_elems / params.gather_locality))
@@ -161,18 +174,23 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
     flush_per_batch = y_beats_total / max(batches, 1)
     flushed = 0
     for _ in range(batches):
-        # phase 1: stream the COO batch from the matrix rows
-        for _ in range(_beats(batch_elems * eb)):
+        # phase 1: stream the COO batch from the matrix rows, one run per
+        # 1024 B matrix row (the row switch bounds each homogeneous run)
+        beats_left = _beats(batch_elems * eb)
+        while beats_left:
             mat_row = mat_bytes_done // 1024
+            room = (1024 - mat_bytes_done % 1024) // BEAT_BYTES
+            n = min(beats_left, room)
             trace += cursor.open_row(mat_row)
-            trace.append(_column(all_bank, False, mat_row,
-                                 (mat_bytes_done % 1024) // BEAT_BYTES,
-                                 bank=bank, tag="matrix"))
-            mat_bytes_done += BEAT_BYTES
+            trace += _column_run(all_bank, False, mat_row, n,
+                                 col=(mat_bytes_done % 1024) // BEAT_BYTES,
+                                 bank=bank, tag="matrix")
+            mat_bytes_done += n * BEAT_BYTES
+            beats_left -= n
         # phase 2: gather x[col] from the open input row
         trace += cursor.open_row(INPUT_ROW)
-        trace += [_column(all_bank, False, INPUT_ROW, c, bank=bank,
-                          tag="gather") for c in range(gather_beats)]
+        trace += _column_run(all_bank, False, INPUT_ROW, gather_beats,
+                             bank=bank, tag="gather")
         # phase 3: flush output windows that advanced past this batch
         flush_debt += flush_per_batch
         if flush_debt >= 1.0:
@@ -201,12 +219,12 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
 # SpMV traces
 # ----------------------------------------------------------------------
 def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
-                  params: TraceParams = TraceParams()) -> List[Command]:
+                  params: TraceParams = TraceParams()) -> List[TraceEntry]:
     """All-bank pSyncPIM schedule of one SpMV on one channel."""
     vb = element_size(execution.precision)
     eb = execution.stream_bytes_per_element
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     for r, round_elems in enumerate(execution.round_batches):
         # host stages this round's input segments (SB mode, external bus)
         trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
@@ -228,7 +246,7 @@ def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
 
 
 def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
-                  params: TraceParams = TraceParams()) -> List[Command]:
+                  params: TraceParams = TraceParams()) -> List[TraceEntry]:
     """Per-bank schedule: the host drives each bank's kernel separately.
 
     Staging traffic is identical to AB mode; the kernel phase is replayed
@@ -240,7 +258,7 @@ def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
     per_bank = _representative_channel_loads(execution)
     rounds = max(1, execution.num_rounds)
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     for r in range(rounds):
         trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
                             row=INPUT_ROW, tag="stage_x")
@@ -285,13 +303,13 @@ def _queue_batch(precision: str, subqueue_bytes: int = 64) -> int:
 # SpTRSV trace
 # ----------------------------------------------------------------------
 def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
-                    params: TraceParams = TraceParams()) -> List[Command]:
+                    params: TraceParams = TraceParams()) -> List[TraceEntry]:
     """The §VI-C flow: per level, SB reads -> broadcast -> AB-PIM kernel."""
     vb = element_size(execution.precision)
     eb = element_bytes(execution.precision)
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
     num_channels = 16 * config.num_cubes
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     for level in range(execution.num_levels):
         width = execution.level_widths[level]
         batch_elems = execution.level_batches[level]
@@ -301,8 +319,8 @@ def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
         # 2) AB mode: broadcast them + program the kernel
         trace += mode_switch()
         trace.append(Command(CommandType.ACT_AB, row=INPUT_ROW))
-        trace += [_column(True, True, INPUT_ROW, c, tag="broadcast")
-                  for c in range(_beats(width * vb))]
+        trace += _column_run(True, True, INPUT_ROW, _beats(width * vb),
+                             tag="broadcast")
         trace.append(Command(CommandType.PRE_AB))
         trace += program_load(params)
         # 3) AB-PIM: the scalar-multiply level kernel (Algorithm 3)
@@ -329,7 +347,7 @@ def dense_stream_trace(elements_per_bank: int, reads_per_group: int,
                        writes_per_group: int, precision: str,
                        all_bank: bool = True,
                        active_banks: int = 16,
-                       params: TraceParams = TraceParams()) -> List[Command]:
+                       params: TraceParams = TraceParams()) -> List[TraceEntry]:
     """Streaming kernels: per 32 B group, fixed reads/writes per region.
 
     In AB mode one command stream drives all banks; in PB mode the stream
@@ -337,7 +355,7 @@ def dense_stream_trace(elements_per_bank: int, reads_per_group: int,
     """
     vb = element_size(precision)
     groups = _beats(elements_per_bank * vb)
-    trace: List[Command] = []
+    trace: List[TraceEntry] = []
     banks = [0] if all_bank else list(range(active_banks))
     cursors = {bank: _RowCursor(all_bank, bank=bank) for bank in banks}
     # one arm/disarm sequence per kernel; in PB mode the controller
@@ -355,11 +373,11 @@ def dense_stream_trace(elements_per_bank: int, reads_per_group: int,
         # batch all reads before all writes (FR-FCFS-style grouping keeps
         # data-bus turnarounds to two per group instead of two per bank)
         for bank in banks:
-            trace += [_column(all_bank, False, row, col, bank=bank,
-                              tag="stream") for _ in range(reads_per_group)]
+            trace += _column_run(all_bank, False, row, reads_per_group,
+                                 col=col, bank=bank, tag="stream")
         for bank in banks:
-            trace += [_column(all_bank, True, row, col, bank=bank,
-                              tag="stream") for _ in range(writes_per_group)]
+            trace += _column_run(all_bank, True, row, writes_per_group,
+                                 col=col, bank=bank, tag="stream")
         bytes_done += BEAT_BYTES
     for bank in banks:
         trace += cursors[bank].close()

@@ -94,6 +94,51 @@ class ChannelScheduler:
         self._now = cycle
         return cycle
 
+    def issue_run(self, command: Command, count: int) -> "tuple[int, int]":
+        """Issue *count* identical commands; return (first, last) cycles.
+
+        Homogeneous column runs — the beat streams that dominate kernel
+        traces — are priced in closed form: after the first command issues
+        normally, every successor of the same kind against the same open
+        row is constrained only by the column bus (1), the burst
+        (``burst_cycles``), same-bank/broadcast CCD (``tccd_l``) and the
+        command's own ``min_gap``, all measured from its predecessor, so
+        the run issues at a fixed spacing. Refresh cannot interleave
+        (the target row stays open, and the scheduler only inserts
+        refresh while all banks are precharged), and every per-bank
+        window is a max-accumulation, so applying the final command's
+        effects alone reproduces the per-command end state exactly.
+
+        Non-column kinds fall back to per-command issue (run boundaries,
+        mode switches and row commands never form homogeneous column
+        runs).
+        """
+        first = last = self.issue(command)
+        if count <= 1:
+            return first, last
+        kind = command.kind
+        if not kind.is_column:
+            for _ in range(count - 1):
+                last = self.issue(command)
+            return first, last
+        t = self.timing
+        spacing = max(command.min_gap, 1, t.burst_cycles, t.tccd_l)
+        last = first + (count - 1) * spacing
+        write = kind.is_write
+        if kind.is_all_bank:
+            for b in self.banks:
+                (b.apply_write if write else b.apply_read)(last)
+        else:
+            bank = self._bank(command.bank)
+            (bank.apply_write if write else bank.apply_read)(last)
+        # Bus/CCD history: the first issue already recorded the kind,
+        # group and direction; only the cycle values move.
+        self._last_col_cycle = last
+        self._col_bus_free = last + 1
+        self.counts[kind] += count - 1
+        self._now = last
+        return first, last
+
     # ------------------------------------------------------------------
     # row commands
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 
 class CommandType(enum.Enum):
@@ -81,3 +81,74 @@ class Command:
             raise ValueError("command coordinates must be non-negative")
         if self.min_gap < 0:
             raise ValueError("min_gap must be non-negative")
+
+
+@dataclass(frozen=True)
+class CommandRun:
+    """``count`` consecutive issues of one identical command.
+
+    Trace generators emit runs for the homogeneous stretches that dominate
+    kernel traces (N beats of RD_AB/WR_AB against the same open row at
+    tCCD spacing); the scheduler prices a run in closed form instead of
+    walking it command by command, with cycle counts and per-type counters
+    identical to the expanded trace. A run is semantically exactly its
+    expansion — every consumer that cannot batch can iterate
+    :func:`expand_trace`.
+
+    The `Command`-like read-only properties let trace inspection code
+    (``{c.kind for c in trace}``) treat a run like its command.
+    """
+
+    command: Command
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a command run needs at least one command")
+
+    @property
+    def kind(self) -> CommandType:
+        return self.command.kind
+
+    @property
+    def channel(self) -> int:
+        return self.command.channel
+
+    @property
+    def bank(self) -> int:
+        return self.command.bank
+
+    @property
+    def row(self) -> int:
+        return self.command.row
+
+    @property
+    def col(self) -> int:
+        return self.command.col
+
+    @property
+    def min_gap(self) -> int:
+        return self.command.min_gap
+
+    @property
+    def tag(self) -> Optional[str]:
+        return self.command.tag
+
+
+#: A command trace entry: a single command or a homogeneous run.
+TraceEntry = Union[Command, CommandRun]
+
+
+def as_run(entry: TraceEntry) -> Tuple[Command, int]:
+    """Normalise a trace entry to ``(command, count)``."""
+    if isinstance(entry, CommandRun):
+        return entry.command, entry.count
+    return entry, 1
+
+
+def expand_trace(trace: Iterable[TraceEntry]) -> Iterator[Command]:
+    """Flatten runs into their per-command expansion (reference path)."""
+    for entry in trace:
+        command, count = as_run(entry)
+        for _ in range(count):
+            yield command

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional
 
 from ..errors import TimingError
 from .channel import BANKS_PER_CHANNEL, ChannelScheduler
-from .commands import Command, CommandType
+from .commands import Command, CommandType, TraceEntry, as_run
 from .power import EnergyModel, EnergyParams, EnergyReport
 from .timing import TimingParams
 
@@ -85,12 +85,17 @@ class MemoryController:
         self._energy_model = EnergyModel(energy_params or EnergyParams(),
                                          timing)
 
-    def run(self, trace: Iterable[Command],
+    def run(self, trace: Iterable[TraceEntry],
             with_energy: bool = False,
             host_column_traffic: int = 0,
             alu_operations: int = 0,
             precision: str = "fp64") -> ScheduleResult:
         """Schedule *trace* and return cycle counts (and optionally energy).
+
+        *trace* may mix plain :class:`Command` entries with
+        :class:`~repro.dram.commands.CommandRun` batches; a run prices
+        exactly like its expansion (same cycles, counters and tag
+        attributions) but in O(1) per run instead of O(count).
 
         ``host_column_traffic``, ``alu_operations`` and ``precision`` feed
         the energy model only; they describe how much of the column traffic
@@ -102,7 +107,8 @@ class MemoryController:
         tag_cycles: Dict[str, int] = {}
         last_cycle: Dict[int, int] = {}
         total = 0
-        for command in trace:
+        for entry in trace:
+            command, count = as_run(entry)
             if command.channel >= self.num_channels:
                 raise TimingError(
                     f"command channel {command.channel} exceeds "
@@ -114,14 +120,20 @@ class MemoryController:
             if sched is None:
                 sched = ChannelScheduler(self.timing, self.enable_refresh)
                 channels[command.channel] = sched
-            cycle = sched.issue(command)
+            if count == 1:
+                first = last = sched.issue(command)
+            else:
+                first, last = sched.issue_run(command, count)
             if command.tag is not None:
-                gap = cycle - last_cycle.get(command.channel, 0)
+                # Per-command attributions sum the positive gaps: the gap
+                # to the run's first command plus the fixed spacings
+                # between its successors (all positive), i.e. last-first.
+                gap = first - last_cycle.get(command.channel, 0)
                 tag_cycles[command.tag] = (tag_cycles.get(command.tag, 0)
-                                           + max(gap, 0))
-            last_cycle[command.channel] = cycle
-            counts[command.kind] += 1
-            total += 1
+                                           + max(gap, 0) + (last - first))
+            last_cycle[command.channel] = last
+            counts[command.kind] += count
+            total += count
 
         per_channel = {ch: sched.now for ch, sched in channels.items()}
         total_cycles = max(per_channel.values()) if per_channel else 0
@@ -144,9 +156,10 @@ class MemoryController:
         return result
 
 
-def count_commands(trace: Iterable[Command]) -> Dict[CommandType, int]:
+def count_commands(trace: Iterable[TraceEntry]) -> Dict[CommandType, int]:
     """Tally a trace without scheduling it (used for Figure 3)."""
     counts: Dict[CommandType, int] = {k: 0 for k in CommandType}
-    for command in trace:
-        counts[command.kind] += 1
+    for entry in trace:
+        command, count = as_run(entry)
+        counts[command.kind] += count
     return counts

@@ -22,7 +22,7 @@ import numpy as np
 from ..config import ProcessingUnitConfig
 from ..errors import ExecutionError
 from ..formats import SparseVector
-from ..pim import AllBankEngine, Beat, padded_triples
+from ..pim import AllBankEngine, Beat, make_engine, padded_triples
 from . import programs
 from .base import (LaunchStats, groups_for, join_even, launch, passes,
                    read_scalars, split_even)
@@ -37,10 +37,13 @@ class KernelRun:
     engine: AllBankEngine
 
 
-def _make_engine(num_banks: int, precision: str) -> AllBankEngine:
-    return AllBankEngine(num_banks=num_banks,
-                         config=ProcessingUnitConfig(),
-                         precision=precision)
+def _make_engine(num_banks: int, precision: str,
+                 engine: Optional[str] = None):
+    """Build the selected functional engine (PSYNCPIM_ENGINE default)."""
+    return make_engine(num_banks=num_banks,
+                       config=ProcessingUnitConfig(),
+                       precision=precision,
+                       engine=engine)
 
 
 def _lanes(engine: AllBankEngine) -> int:

@@ -124,16 +124,34 @@ class AllBankEngine:
         """Broadcast one memory transaction to every unit."""
         if self.mode is not Mode.AB_PIM:
             raise ExecutionError("kernels execute only in AB-PIM mode")
-        before_active = self.active_count
+        # One pass over the units folds the beat broadcast, the active
+        # counts and the lock-step divergence flag together; the O(N)
+        # set-comprehension over PCs only runs when a beat actually
+        # diverged (i.e. when it is about to raise).
+        before_active = 0
+        active_after = 0
+        any_exited = False
+        diverged = False
+        first_pc = -1
         for unit in self.units:
+            if not unit.exited:
+                before_active += 1
             unit.consume_beat(beat)
+            if unit.exited:
+                any_exited = True
+            else:
+                active_after += 1
+                if first_pc < 0:
+                    first_pc = unit.pc
+                elif unit.pc != first_pc:
+                    diverged = True
         self.stats.beats += 1
         key = self.mode.value
         self.stats.per_mode_beats[key] = (
             self.stats.per_mode_beats.get(key, 0) + 1)
-        if self.active_count < before_active or self._any_nop():
+        if active_after < before_active or (any_exited and active_after):
             self.stats.predicated_beats += 1
-        if self.check_lockstep:
+        if self.check_lockstep and diverged:
             self._assert_lockstep()
 
     def run(self, beats: Iterable[Beat]) -> int:
@@ -156,10 +174,6 @@ class AllBankEngine:
             self._assert_lockstep()
         self._collect_unit_stats()
         return consumed
-
-    def _any_nop(self) -> bool:
-        return any(unit.exited for unit in self.units) \
-            and not self.all_exited
 
     def _assert_lockstep(self) -> None:
         pcs = {unit.pc for unit in self.units if not unit.exited}

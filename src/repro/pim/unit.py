@@ -93,6 +93,10 @@ class ProcessingUnit:
         #: pushing 32 B data to the queue execute the load"). Store
         #: cursors compact queue pops densely into their output region.
         self.cursors: Dict[str, int] = {}
+        #: Per-PC classification, precomputed at load_program time so the
+        #: per-beat walk never re-derives it from opcode/operand fields.
+        self._is_control: tuple = ()
+        self._needs_beat: tuple = ()
         self.stats = UnitStats()
 
     # ------------------------------------------------------------------
@@ -104,6 +108,11 @@ class ProcessingUnit:
         if len(program) > self.config.instruction_slots:
             raise ExecutionError("program exceeds the control register")
         self.program = program
+        self._is_control = tuple(isinstance(ins, CInstruction)
+                                 for ins in program)
+        self._needs_beat = tuple(
+            False if ctrl else uses_bank(ins)
+            for ctrl, ins in zip(self._is_control, program))
         self.arm(reset_registers=reset_registers)
 
     def arm(self, reset_registers: bool = False) -> None:
@@ -148,15 +157,16 @@ class ProcessingUnit:
                 self.exited = True
                 self.stats.nop_beats += 1
                 return
-            instruction = self.program[self.pc]
+            pc = self.pc
+            instruction = self.program[pc]
             self.stats.instructions += 1
-            if isinstance(instruction, CInstruction):
+            if self._is_control[pc]:
                 self._execute_control(instruction)
                 if self.exited:
                     self.stats.nop_beats += 1
                     return
                 continue
-            needs_beat = uses_bank(instruction)
+            needs_beat = self._needs_beat[pc]
             self._execute_b(instruction, beat if needs_beat else None)
             self.pc += 1
             if needs_beat:
@@ -182,12 +192,13 @@ class ProcessingUnit:
             if self.pc >= len(self.program):
                 self.exited = True
                 return
-            instruction = self.program[self.pc]
-            if isinstance(instruction, CInstruction):
+            pc = self.pc
+            instruction = self.program[pc]
+            if self._is_control[pc]:
                 self.stats.instructions += 1
                 self._execute_control(instruction)
                 continue
-            if uses_bank(instruction):
+            if self._needs_beat[pc]:
                 return
             self.stats.instructions += 1
             self._execute_b(instruction, None)

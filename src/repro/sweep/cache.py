@@ -41,7 +41,9 @@ from ..formats import COOMatrix
 CACHE_DIR_ENV = "PSYNCPIM_CACHE_DIR"
 
 #: Bump to invalidate every previously stored artifact (layout changes).
-CACHE_VERSION = 1
+#: v2: traces are emitted with CommandRun batching — regenerating stored
+#: per-command traces lets cached sweeps use the closed-form pricing path.
+CACHE_VERSION = 2
 
 _MISS = object()
 

@@ -49,6 +49,33 @@ def resolve_engine(explicit: Optional[str] = None) -> str:
                           f"{list(ENGINE_CHOICES)}")
     return name
 
+#: Environment variable selecting the planning front-end implementation.
+PLANNER_ENV = "PSYNCPIM_PLANNER"
+
+#: Planners the host-side layout tier can run on: the vectorized array
+#: pipeline (default) and the scalar reference oracle.
+PLANNER_CHOICES = ("fast", "scalar")
+
+#: Planner used when neither the caller nor the environment chooses one.
+DEFAULT_PLANNER = "fast"
+
+
+def resolve_planner(explicit: Optional[str] = None) -> str:
+    """Resolve the planning front-end: explicit arg > env var > default.
+
+    Mirrors :func:`resolve_engine` for the host-side planning tier
+    (partition, distribution, level scheduling). Unknown names raise
+    :class:`ConfigError` so typos fail loudly.
+    """
+    name = explicit if explicit is not None \
+        else os.environ.get(PLANNER_ENV, DEFAULT_PLANNER)
+    name = name.strip().lower()
+    if name not in PLANNER_CHOICES:
+        raise ConfigError(f"unknown planner {name!r}; expected one of "
+                          f"{list(PLANNER_CHOICES)}")
+    return name
+
+
 #: Precision name -> element size in bytes, for every precision the VALU
 #: supports (Table VIII: INT8 through FP64).
 PRECISION_BYTES: Dict[str, int] = {

@@ -3,6 +3,7 @@ trace synthesis and timing."""
 
 from .partition import (PartitionPlan, SubMatrix, partition, reassemble,
                         tile_capacity)
+from .planner import Planner, make_planner
 from .distribution import (Assignment, accumulation_traffic_bytes,
                            distribute, replication_traffic_bytes)
 from .spmv import (SpmvExecution, SpmvResult, element_bytes, plan_spmv,
@@ -18,7 +19,8 @@ from .runtime import PSyncPIM
 
 __all__ = [
     "PartitionPlan", "SubMatrix", "partition", "reassemble",
-    "tile_capacity", "Assignment", "accumulation_traffic_bytes",
+    "tile_capacity", "Planner", "make_planner",
+    "Assignment", "accumulation_traffic_bytes",
     "distribute", "replication_traffic_bytes", "SpmvExecution",
     "SpmvResult", "element_bytes", "plan_spmv", "run_spmv", "ILDUFactors",
     "SpTrsvExecution", "SpTrsvResult", "ildu", "level_schedule",

@@ -22,14 +22,17 @@ Two policies are provided:
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..config import resolve_planner
 from ..errors import MappingError
 from .partition import PartitionPlan, SubMatrix
+from .planner import stable_desc_order
 
 
 @dataclass
@@ -124,7 +127,8 @@ def split_oversized(tiles: Sequence[SubMatrix],
 
 def distribute(plan: PartitionPlan, num_banks: int,
                policy: str = "paper",
-               balance_slack: float = 0.6) -> Assignment:
+               balance_slack: float = 0.6,
+               planner: Optional[str] = None) -> Assignment:
     """Assign a partition plan's tiles to *num_banks* banks.
 
     Under the default policy, tiles heavier than ``balance_slack`` times
@@ -132,9 +136,15 @@ def distribute(plan: PartitionPlan, num_banks: int,
     then placed round-robin in (row-block, column-block) order. Pass
     ``balance_slack=0`` to disable splitting (the naive-distribution
     ablation).
+
+    ``planner`` selects the round-formation implementation (``"fast"``
+    array bookkeeping vs the ``"scalar"`` per-tile oracle, see
+    :mod:`repro.core.planner`); both produce identical assignments,
+    including the greedy tie-break order.
     """
     if num_banks <= 0:
         raise MappingError("need at least one bank")
+    fast = resolve_planner(planner) == "fast"
     tiles: Sequence[SubMatrix] = plan.tiles
     if policy == "paper":
         if balance_slack and plan.total_nnz:
@@ -144,18 +154,30 @@ def distribute(plan: PartitionPlan, num_banks: int,
         # Descending-size round packing: each lock-step round costs its
         # heaviest tile, so grouping similar-sized tiles makes the round
         # maxima telescope instead of every round paying for one straggler.
-        tiles = sorted(tiles, key=lambda t: -t.nnz)
-        rounds = _round_robin(tiles, num_banks)
+        if fast:
+            order = stable_desc_order(_tile_nnz(tiles))
+            tiles = [tiles[i] for i in order]
+        else:
+            tiles = sorted(tiles, key=lambda t: -t.nnz)
+        rounds = _round_robin_fast(tiles, num_banks) if fast \
+            else _round_robin(tiles, num_banks)
     elif policy == "naive":
-        rounds = _round_robin(tiles, num_banks)
+        rounds = _round_robin_fast(tiles, num_banks) if fast \
+            else _round_robin(tiles, num_banks)
     elif policy == "balanced":
-        rounds = _balanced(tiles, num_banks)
+        rounds = _balanced_fast(tiles, num_banks) if fast \
+            else _balanced(tiles, num_banks)
     else:
         raise MappingError(f"unknown distribution policy {policy!r}")
     assignment = Assignment(num_banks=num_banks, rounds=rounds,
                             policy=policy)
     _check(assignment, plan)
     return assignment
+
+
+def _tile_nnz(tiles: Sequence[SubMatrix]) -> np.ndarray:
+    return np.fromiter((t.rows.size for t in tiles), dtype=np.int64,
+                       count=len(tiles))
 
 
 def _round_robin(tiles: Sequence[SubMatrix],
@@ -169,6 +191,17 @@ def _round_robin(tiles: Sequence[SubMatrix],
     return rounds or [[None] * num_banks]
 
 
+def _round_robin_fast(tiles: Sequence[SubMatrix],
+                      num_banks: int) -> List[List[Optional[SubMatrix]]]:
+    """Sliced round formation: one list op per round, not per tile."""
+    rounds: List[List[Optional[SubMatrix]]] = []
+    for start in range(0, len(tiles), num_banks):
+        chunk = list(tiles[start:start + num_banks])
+        chunk.extend([None] * (num_banks - len(chunk)))
+        rounds.append(chunk)
+    return rounds or [[None] * num_banks]
+
+
 def _balanced(tiles: Sequence[SubMatrix],
               num_banks: int) -> List[List[Optional[SubMatrix]]]:
     order = sorted(range(len(tiles)), key=lambda i: -tiles[i].nnz)
@@ -178,6 +211,30 @@ def _balanced(tiles: Sequence[SubMatrix],
         bank = int(np.argmin(loads))
         per_bank[bank].append(tiles[index])
         loads[bank] += tiles[index].nnz
+    depth = max((len(stack) for stack in per_bank), default=0)
+    rounds = []
+    for r in range(max(depth, 1)):
+        rounds.append([stack[r] if r < len(stack) else None
+                       for stack in per_bank])
+    return rounds
+
+
+def _balanced_fast(tiles: Sequence[SubMatrix],
+                   num_banks: int) -> List[List[Optional[SubMatrix]]]:
+    """Greedy LPT via argsort + a (load, bank) heap.
+
+    Identical to the scalar oracle: the heap pops the lightest bank and,
+    on ties, the lowest bank index — exactly ``np.argmin``'s first-minimum
+    rule — so every tile lands on the same bank in the same slot.
+    """
+    nnz = _tile_nnz(tiles)
+    order = stable_desc_order(nnz)
+    per_bank: List[List[SubMatrix]] = [[] for _ in range(num_banks)]
+    heap = [(0, b) for b in range(num_banks)]
+    for index in order:
+        load, bank = heapq.heappop(heap)
+        per_bank[bank].append(tiles[index])
+        heapq.heappush(heap, (load + int(nnz[index]), bank))
     depth = max((len(stack) for stack in per_bank), default=0)
     rounds = []
     for r in range(max(depth, 1)):

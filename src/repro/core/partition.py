@@ -10,17 +10,25 @@ dimension of every tile is likewise bounded by the memory row, giving the
 The output is a list of :class:`SubMatrix` descriptors with *tile-local*
 indices plus the metadata the host needs to stage inputs (which global
 columns to replicate) and merge outputs (which global rows to accumulate).
+
+Two planners produce bitwise-identical plans (see :mod:`repro.core.planner`):
+the ``"scalar"`` oracle cuts each row block segment-by-segment with boolean
+masks; the default ``"fast"`` planner sorts all nonzeros once by a
+(row-block, column-segment) composite key, derives every block's kept-column
+set from a single global ``np.unique`` pass and emits all tiles from
+contiguous slices of the sorted arrays.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from functools import cached_property
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..config import SystemConfig, element_size
+from ..config import SystemConfig, element_size, resolve_planner
 from ..errors import MappingError
 from ..formats import COOMatrix
 
@@ -53,10 +61,14 @@ class SubMatrix:
         """Output-tile length (rows of the row block)."""
         return self.row_range[1] - self.row_range[0]
 
-    @property
+    @cached_property
     def touched_rows(self) -> int:
         """Rows that actually receive a partial — the host merges only
-        these (Fig. 6: "accumulates only non-zero outputs")."""
+        these (Fig. 6: "accumulates only non-zero outputs").
+
+        Cached: traffic and imbalance accounting query it repeatedly and
+        the underlying ``np.unique`` is O(nnz log nnz) per call.
+        """
         return int(np.unique(self.rows).size)
 
     def x_segment(self, x: np.ndarray) -> np.ndarray:
@@ -74,7 +86,13 @@ class SubMatrix:
 
 @dataclass
 class PartitionPlan:
-    """All tiles of a matrix plus the parameters that produced them."""
+    """All tiles of a matrix plus the parameters that produced them.
+
+    Per-tile statistics are exposed as memoized plan-level arrays
+    (:attr:`tile_nnz`, :attr:`tile_x_lengths`, :attr:`tile_touched_rows`)
+    so traffic accounting reads them once instead of re-deriving them
+    tile-by-tile on every query.
+    """
 
     shape: Tuple[int, int]
     tiles: List[SubMatrix]
@@ -82,20 +100,38 @@ class PartitionPlan:
     tile_cols: int
     compressed: bool
 
-    @property
-    def total_nnz(self) -> int:
-        return sum(tile.nnz for tile in self.tiles)
+    @cached_property
+    def tile_nnz(self) -> np.ndarray:
+        """Element count of each tile, in tile order."""
+        return np.fromiter((t.rows.size for t in self.tiles),
+                           dtype=np.int64, count=len(self.tiles))
 
-    @property
+    @cached_property
+    def tile_x_lengths(self) -> np.ndarray:
+        """Input-segment length of each tile, in tile order."""
+        return np.fromiter((t.global_cols.size for t in self.tiles),
+                           dtype=np.int64, count=len(self.tiles))
+
+    @cached_property
+    def tile_touched_rows(self) -> np.ndarray:
+        """Touched-row count of each tile, in tile order."""
+        return np.fromiter((t.touched_rows for t in self.tiles),
+                           dtype=np.int64, count=len(self.tiles))
+
+    @cached_property
+    def total_nnz(self) -> int:
+        return int(self.tile_nnz.sum())
+
+    @cached_property
     def replicated_input_elements(self) -> int:
         """Input elements the host stages across all tiles (Fig. 6 metric).
 
         Compression shrinks exactly this: without it, every tile would
         replicate its full column range.
         """
-        return sum(tile.x_length for tile in self.tiles)
+        return int(self.tile_x_lengths.sum())
 
-    @property
+    @cached_property
     def output_partial_elements(self) -> int:
         """Output elements the host accumulates across all tiles."""
         return sum(tile.y_length for tile in self.tiles)
@@ -108,12 +144,19 @@ def tile_capacity(config: SystemConfig, precision: str) -> int:
 
 def partition(matrix: COOMatrix, config: SystemConfig,
               precision: str = "fp64", compress: bool = True,
-              tile_rows: int = None, tile_cols: int = None) -> PartitionPlan:
+              tile_rows: int = None, tile_cols: int = None,
+              planner: Optional[str] = None,
+              validate: bool = True) -> PartitionPlan:
     """Cut *matrix* into 1 KB-bounded tiles (optionally compressed).
 
     ``compress=False`` reproduces the naive distribution the paper's Fig. 6
     improves on: column ranges are kept whole, so input replication covers
     all-zero columns too. The ablation benchmark flips this switch.
+
+    ``planner`` selects the implementation (``"fast"``/``"scalar"``, see
+    :mod:`repro.core.planner`); both emit bitwise-identical plans.
+    ``validate=False`` skips the O(nnz) plan self-checks — the sweep hot
+    path disables them, tests keep them on.
     """
     capacity = tile_capacity(config, precision)
     tile_rows = capacity if tile_rows is None else tile_rows
@@ -125,9 +168,25 @@ def partition(matrix: COOMatrix, config: SystemConfig,
             f"tiles of {tile_rows}x{tile_cols} exceed the one-memory-row "
             f"constraint ({capacity} elements at {precision})")
 
-    nrows, ncols = matrix.shape
+    cut = (_partition_fast if resolve_planner(planner) == "fast"
+           else _partition_scalar)
+    tiles = cut(matrix.sorted_rows(), matrix.shape, tile_rows, tile_cols,
+                compress)
+    plan = PartitionPlan(shape=matrix.shape, tiles=tiles,
+                         tile_rows=tile_rows, tile_cols=tile_cols,
+                         compressed=compress)
+    if validate:
+        _check_plan(plan, matrix)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# scalar oracle: per-block, per-segment mask scans
+# ----------------------------------------------------------------------
+def _partition_scalar(srt: COOMatrix, shape, tile_rows, tile_cols,
+                      compress) -> List[SubMatrix]:
+    nrows, ncols = shape
     tiles: List[SubMatrix] = []
-    srt = matrix.sorted_rows()
     block_starts = np.searchsorted(
         srt.rows, np.arange(0, nrows, tile_rows), side="left")
     block_bounds = np.append(block_starts, srt.nnz)
@@ -144,11 +203,7 @@ def partition(matrix: COOMatrix, config: SystemConfig,
         vals = srt.vals[lo_el:hi_el]
         tiles.extend(_cut_columns(rows, cols, vals, (row_lo, row_hi),
                                   ncols, tile_cols, compress))
-    plan = PartitionPlan(shape=matrix.shape, tiles=tiles,
-                         tile_rows=tile_rows, tile_cols=tile_cols,
-                         compressed=compress)
-    _check_plan(plan, matrix)
-    return plan
+    return tiles
 
 
 def _cut_columns(rows, cols, vals, row_range, ncols, tile_cols,
@@ -170,7 +225,7 @@ def _cut_columns(rows, cols, vals, row_range, ncols, tile_cols,
                 global_cols=kept[seg_lo:seg_hi],
                 rows=rows[mask],
                 cols=local[mask] - seg_lo,
-                vals=vals[mask]).validate())
+                vals=vals[mask]))
     else:
         num_segments = math.ceil(ncols / tile_cols)
         for seg in range(num_segments):
@@ -184,14 +239,130 @@ def _cut_columns(rows, cols, vals, row_range, ncols, tile_cols,
                 global_cols=np.arange(seg_lo, seg_hi),
                 rows=rows[mask],
                 cols=cols[mask] - seg_lo,
-                vals=vals[mask]).validate())
+                vals=vals[mask]))
     return tiles
 
 
+# ----------------------------------------------------------------------
+# fast planner: one global composite-key sort, sliced tile emission
+# ----------------------------------------------------------------------
+def _partition_fast(srt: COOMatrix, shape, tile_rows, tile_cols,
+                    compress) -> List[SubMatrix]:
+    """Array-native partitioning, bitwise identical to the scalar oracle.
+
+    *srt* arrives row-major sorted, i.e. already ordered by
+    (row-block, row, col). One pass derives each element's column segment
+    — for the compressed path via a single global ``np.unique`` over
+    (block, column) composite keys that yields every block's kept-column
+    set and each element's compacted column rank at once — then a stable
+    argsort by (block, segment) makes every tile a contiguous slice while
+    preserving the oracle's (row, col) element order inside it.
+    """
+    nnz = srt.nnz
+    if nnz == 0:
+        return []
+    nrows, ncols = shape
+    rows, cols, vals = srt.rows, srt.cols, srt.vals
+    block = rows // tile_rows
+
+    if compress:
+        # Global kept-column pass: unique (block, col) keys, sorted, give
+        # per-block kept columns; the inverse map gives each element's
+        # index into that global key list.
+        keys, key_of = np.unique(block * ncols + cols, return_inverse=True)
+        key_block = keys // ncols
+        kept_cols = keys % ncols
+        # Rank of each element's column within its block's kept set.
+        block_key_start = np.searchsorted(key_block, block, side="left")
+        local = key_of - block_key_start
+        seg = local // tile_cols
+        local_col = local - seg * tile_cols
+    else:
+        seg = cols // tile_cols
+        local_col = cols - seg * tile_cols
+
+    # Stable sort by (block, segment): groups become contiguous while the
+    # incoming (row, col) order inside each group survives. Stability is
+    # bought by appending each element's position to the key — unique keys
+    # let the faster non-stable sort produce the stable permutation.
+    seg_capacity = math.ceil(max(ncols, 1) / tile_cols) + 1
+    composite = block * seg_capacity + seg
+    if int(composite.max()) < (2 ** 63 - 1 - nnz) // nnz:
+        order = np.argsort(composite * nnz
+                           + np.arange(nnz, dtype=np.int64))
+    else:  # giant key space: fall back to the stable sort
+        order = np.argsort(composite, kind="stable")
+    sorted_composite = composite[order]
+    group_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_composite[1:]
+                        != sorted_composite[:-1])))
+    group_keys = sorted_composite[group_starts]
+    group_bounds = np.append(group_starts, nnz)
+
+    local_rows = (rows - block * tile_rows)[order]
+    local_cols = local_col[order]
+    tile_vals = vals[order]
+
+    # Per-group metadata, computed as arrays before the emission loop.
+    g_block = group_keys // seg_capacity
+    g_seg = group_keys - g_block * seg_capacity
+    row_los = g_block * tile_rows
+    row_his = np.minimum(row_los + tile_rows, nrows)
+    if compress:
+        block_key_bounds = np.searchsorted(
+            key_block, np.arange(key_block[-1] + 2 if keys.size else 1))
+        col_los = block_key_bounds[g_block] + g_seg * tile_cols
+        col_his = np.minimum(col_los + tile_cols,
+                             block_key_bounds[g_block + 1])
+    else:
+        col_los = g_seg * tile_cols
+        col_his = np.minimum(col_los + tile_cols, ncols)
+
+    if not compress:
+        # Every block shares the same raw column segments; materialise
+        # each segment's index range once instead of per tile.
+        col_base = np.arange(ncols, dtype=np.int64)
+
+    tiles: List[SubMatrix] = []
+    for g in range(group_keys.size):
+        lo_el, hi_el = group_bounds[g], group_bounds[g + 1]
+        if compress:
+            global_cols = kept_cols[col_los[g]:col_his[g]]
+        else:
+            global_cols = col_base[col_los[g]:col_his[g]]
+        tiles.append(SubMatrix(
+            row_range=(int(row_los[g]), int(row_his[g])),
+            global_cols=global_cols,
+            rows=local_rows[lo_el:hi_el],
+            cols=local_cols[lo_el:hi_el],
+            vals=tile_vals[lo_el:hi_el]))
+    return tiles
+
+
+# ----------------------------------------------------------------------
+# plan validation and round-trip
+# ----------------------------------------------------------------------
 def _check_plan(plan: PartitionPlan, matrix: COOMatrix) -> None:
+    """O(nnz) array-level self-check: conservation + local index bounds."""
     if plan.total_nnz != matrix.nnz:
         raise MappingError(
             f"partition lost elements: {plan.total_nnz} != {matrix.nnz}")
+    if not plan.tiles:
+        return
+    # Vectorized bound check over all tiles at once (every tile emitted by
+    # a planner is non-empty, so reduceat groups are never zero-length).
+    starts = np.concatenate(([0], np.cumsum(plan.tile_nnz)[:-1]))
+    all_rows = np.concatenate([t.rows for t in plan.tiles])
+    all_cols = np.concatenate([t.cols for t in plan.tiles])
+    y_lengths = np.fromiter((t.y_length for t in plan.tiles),
+                            dtype=np.int64, count=len(plan.tiles))
+    if (np.any(np.minimum.reduceat(all_rows, starts) < 0)
+            or np.any(np.maximum.reduceat(all_rows, starts) >= y_lengths)):
+        raise MappingError("tile-local row out of range")
+    if (np.any(np.minimum.reduceat(all_cols, starts) < 0)
+            or np.any(np.maximum.reduceat(all_cols, starts)
+                      >= plan.tile_x_lengths)):
+        raise MappingError("tile-local col out of range")
 
 
 def reassemble(plan: PartitionPlan) -> COOMatrix:

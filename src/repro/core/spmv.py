@@ -97,6 +97,7 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
               policy: str = "paper", matrix_format: str = "coo",
               plan: Optional[PartitionPlan] = None,
               assignment: Optional[Assignment] = None,
+              planner: Optional[str] = None, validate: bool = True,
               ) -> "tuple[PartitionPlan, Assignment, SpmvExecution]":
     """Lay out one SpMV without executing it numerically.
 
@@ -105,13 +106,19 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
     the expensive, data-dependent half of :func:`run_spmv`; the sweep
     runner calls it directly (optionally injecting a cached *plan* /
     *assignment*) when only performance numbers are needed.
+
+    ``planner`` selects the planning implementation (see
+    :mod:`repro.core.planner`); ``validate=False`` skips the plan
+    round-trip check in trusted hot paths such as the sweep runner.
     """
     if plan is None:
         plan = partition(matrix, config, precision=precision,
-                         compress=compress)
+                         compress=compress, planner=planner,
+                         validate=validate)
     num_banks = config.total_units
     if assignment is None:
-        assignment = distribute(plan, num_banks, policy=policy)
+        assignment = distribute(plan, num_banks, policy=policy,
+                                planner=planner)
 
     value_bytes = element_size(precision)
     stream_bpe = _stream_bytes_per_element(matrix_format, plan,
@@ -150,7 +157,9 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
              matrix_format: str = "coo",
              plan: Optional[PartitionPlan] = None,
              assignment: Optional[Assignment] = None,
-             engine: Optional[str] = None) -> SpmvResult:
+             engine: Optional[str] = None,
+             planner: Optional[str] = None,
+             validate: bool = True) -> SpmvResult:
     """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
 
     ``engine_banks`` caps the functional engine size (the plan itself is
@@ -173,7 +182,7 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
     plan, assignment, execution = plan_spmv(
         matrix, config, precision=precision, compress=compress,
         policy=policy, matrix_format=matrix_format, plan=plan,
-        assignment=assignment)
+        assignment=assignment, planner=planner, validate=validate)
 
     if fidelity == "fast":
         y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)

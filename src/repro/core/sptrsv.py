@@ -25,12 +25,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..config import SystemConfig
+from ..config import SystemConfig, resolve_planner
 from ..errors import ExecutionError, MappingError, SolverError
 from ..formats import COOMatrix, CSRMatrix
 from ..kernels import Tile, run_tile_round
 from ..pim import make_engine
 from .partition import tile_capacity
+from .planner import concat_ranges
 
 # ----------------------------------------------------------------------
 # host preprocessing: ILDU factorisation
@@ -75,11 +76,14 @@ def ildu(matrix: COOMatrix) -> ILDUFactors:
     if np.any(matrix.diagonal() == 0.0):
         raise SolverError("ILDU needs a full diagonal")
 
-    # Working rows as dicts (pattern-restricted updates).
-    rows = []
-    for i in range(n):
-        idx, val = csr.row(i)
-        rows.append(dict(zip(idx.tolist(), val.tolist())))
+    # Working rows as dicts (pattern-restricted updates), built from the
+    # CSR arrays in one split pass instead of per-row slicing.
+    all_idx = csr.indices.tolist()
+    all_val = csr.data.tolist()
+    bounds = csr.indptr.tolist()
+    rows = [dict(zip(all_idx[bounds[i]:bounds[i + 1]],
+                     all_val[bounds[i]:bounds[i + 1]]))
+            for i in range(n)]
 
     diag = np.zeros(n)
     for i in range(n):
@@ -94,29 +98,31 @@ def ildu(matrix: COOMatrix) -> ILDUFactors:
             raise SolverError(f"zero pivot at row {i} during ILDU")
         diag[i] = row[i]
 
-    l_rows, l_cols, l_vals = [], [], []
-    u_rows, u_cols, u_vals = [], [], []
-    for i in range(n):
-        for j, value in rows[i].items():
-            if j < i:
-                l_rows.append(i), l_cols.append(j), l_vals.append(value)
-            elif j > i:
-                u_rows.append(i), u_cols.append(j)
-                u_vals.append(value / diag[i])  # unit-normalise U
+    # Assemble both factors with array masks over the flattened rows
+    # instead of per-element Python appends.
+    counts = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+    all_i = np.repeat(np.arange(n, dtype=np.int64), counts)
+    if all_i.size:
+        all_j = np.concatenate([
+            np.fromiter(r.keys(), dtype=np.int64, count=len(r))
+            for r in rows])
+        all_v = np.concatenate([
+            np.fromiter(r.values(), dtype=np.float64, count=len(r))
+            for r in rows])
+    else:
+        all_j = np.zeros(0, dtype=np.int64)
+        all_v = np.zeros(0)
+    low = all_j < all_i
+    up = all_j > all_i
     eye = np.arange(n)
-    lower = COOMatrix((n, n), np.concatenate([np.asarray(l_rows,
-                                                         dtype=np.int64),
-                                              eye]),
-                      np.concatenate([np.asarray(l_cols, dtype=np.int64),
-                                      eye]),
-                      np.concatenate([np.asarray(l_vals), np.ones(n)]),
+    lower = COOMatrix((n, n), np.concatenate([all_i[low], eye]),
+                      np.concatenate([all_j[low], eye]),
+                      np.concatenate([all_v[low], np.ones(n)]),
                       check=False)
-    upper = COOMatrix((n, n), np.concatenate([np.asarray(u_rows,
-                                                         dtype=np.int64),
-                                              eye]),
-                      np.concatenate([np.asarray(u_cols, dtype=np.int64),
-                                      eye]),
-                      np.concatenate([np.asarray(u_vals), np.ones(n)]),
+    upper = COOMatrix((n, n), np.concatenate([all_i[up], eye]),
+                      np.concatenate([all_j[up], eye]),
+                      np.concatenate([all_v[up] / diag[all_i[up]],
+                                      np.ones(n)]),  # unit-normalise U
                       check=False)
     return ILDUFactors(lower=lower, diag_inv=1.0 / diag, upper=upper)
 
@@ -146,18 +152,33 @@ def _flip(tri: COOMatrix) -> COOMatrix:
                      tri.vals.copy(), check=False)
 
 
-def level_schedule(tri: COOMatrix, lower: bool = True) -> List[np.ndarray]:
+def level_schedule(tri: COOMatrix, lower: bool = True,
+                   planner: Optional[str] = None) -> List[np.ndarray]:
     """Group rows into dependency levels (host row-reordering support).
 
     Row i's level is 1 + max level of the rows it depends on; rows in one
     level are mutually independent and can be solved in a single all-bank
     batch. Upper solves are scheduled on the flipped (lower) matrix and
     mapped back.
+
+    ``planner`` selects the implementation: the ``"scalar"`` per-row loop
+    or the default ``"fast"`` frontier sweep over CSC (one numpy
+    relaxation pass per dependency level). Both return identical levels.
     """
     n = tri.shape[0]
     if not lower:
-        flipped_levels = level_schedule(_flip(tri), lower=True)
+        flipped_levels = level_schedule(_flip(tri), lower=True,
+                                        planner=planner)
         return [np.sort(n - 1 - lvl) for lvl in flipped_levels]
+    if resolve_planner(planner) == "fast":
+        depth = _level_depths_fast(n, tri.rows, tri.cols)
+    else:
+        depth = _level_depths_scalar(n, tri)
+    return _levels_from_depths(depth)
+
+
+def _level_depths_scalar(n: int, tri: COOMatrix) -> np.ndarray:
+    """Oracle: O(n) per-row loop over CSR, longest dependency path."""
     depth = np.zeros(n, dtype=np.int64)
     csr = CSRMatrix.from_coo(tri)
     for i in range(n):
@@ -165,14 +186,69 @@ def level_schedule(tri: COOMatrix, lower: bool = True) -> List[np.ndarray]:
         deps = idx[idx < i]
         if deps.size:
             depth[i] = depth[deps].max() + 1
-    levels = []
-    for d in range(int(depth.max()) + 1 if n else 0):
-        levels.append(np.nonzero(depth == d)[0])
-    return levels
+    return depth
 
 
-def reorder_by_levels(tri: COOMatrix,
-                      lower: bool = True) -> Tuple[np.ndarray, COOMatrix]:
+def _level_depths_fast(n: int, rows: np.ndarray,
+                       cols: np.ndarray) -> np.ndarray:
+    """Frontier sweep: peel rows whose dependencies are all resolved.
+
+    A row enters the frontier exactly when its last strictly-lower
+    dependency resolves, i.e. at level ``1 + max(dep levels)`` — the same
+    longest-path depth the scalar loop computes row by row.
+    """
+    depth = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return depth
+    # CSC of the strictly-lower dependency edges: column c -> the rows
+    # depending on it. Edges are packed as (col << shift) | row so one
+    # in-place value sort groups them by column — much cheaper than an
+    # argsort, and the within-column row order is irrelevant to depths.
+    shift = max(1, (n - 1).bit_length())
+    keys = (cols << shift) | rows
+    keys = keys[rows > cols]
+    keys.sort()
+    erows = keys & ((1 << shift) - 1)
+    ecols = keys >> shift
+    indegree = np.bincount(erows, minlength=n)
+    col_ptr = np.append(0, np.cumsum(np.bincount(ecols, minlength=n)))
+    frontier = np.flatnonzero(indegree == 0)
+    level = 0
+    while frontier.size:
+        depth[frontier] = level
+        targets = erows[concat_ranges(col_ptr[frontier],
+                                      col_ptr[frontier + 1])]
+        if targets.size == 0:
+            break
+        # Per-level work stays O(edges relaxed), not O(n): decrement in
+        # place and re-examine only the rows that were just touched.
+        np.subtract.at(indegree, targets, 1)
+        frontier = np.unique(targets[indegree[targets] == 0])
+        level += 1
+    return depth
+
+
+def _levels_from_depths(depth: np.ndarray) -> List[np.ndarray]:
+    """Split row indices into per-depth levels, ascending within each.
+
+    Packs (depth, row) into one integer per row so a plain value sort
+    replaces the stable argsort while producing the identical ascending
+    row order inside every level.
+    """
+    n = depth.size
+    if n == 0:
+        return []
+    shift = max(1, (n - 1).bit_length())
+    keys = (depth << shift) | np.arange(n, dtype=np.int64)
+    keys.sort()
+    order = keys & ((1 << shift) - 1)
+    bounds = np.cumsum(np.bincount(depth))
+    return np.split(order, bounds[:-1])
+
+
+def reorder_by_levels(tri: COOMatrix, lower: bool = True,
+                      planner: Optional[str] = None,
+                      ) -> Tuple[np.ndarray, COOMatrix]:
     """Permute rows/cols so dependency levels are contiguous (§VI-D).
 
     Returns ``(perm, reordered)`` where ``reordered = P A P^T`` with
@@ -181,14 +257,14 @@ def reorder_by_levels(tri: COOMatrix,
     """
     if not lower:
         n = tri.shape[0]
-        perm_flipped, reordered_flipped = reorder_by_levels(_flip(tri),
-                                                            lower=True)
+        perm_flipped, reordered_flipped = reorder_by_levels(
+            _flip(tri), lower=True, planner=planner)
         perm = (n - 1 - perm_flipped)[::-1].copy()
         reordered = _flip(reordered_flipped)
         if not reordered.is_upper_triangular():
             raise MappingError("level reordering broke upper-triangularity")
         return perm, reordered
-    levels = level_schedule(tri, lower=True)
+    levels = level_schedule(tri, lower=True, planner=planner)
     perm = (np.concatenate(levels) if levels
             else np.zeros(0, dtype=np.int64))
     inverse = np.empty_like(perm)
@@ -276,12 +352,17 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                fidelity: str = "fast", reorder: bool = True,
                leaf_size: Optional[int] = None,
                engine_banks: Optional[int] = None,
-               engine: Optional[str] = None) -> SpTrsvResult:
+               engine: Optional[str] = None,
+               planner: Optional[str] = None) -> SpTrsvResult:
     """Solve ``T x = b`` for unit triangular T on the pSyncPIM model.
 
     Upper solves are run as lower solves on the reversed ordering
     (rows/cols mapped through ``n-1-i``), which is how the hardware reuses
     one kernel for L and U (Table III lists both under SpTRSV).
+
+    ``planner`` selects the host-side scheduling implementation (level
+    computation, leaf level formation); results and execution records are
+    bitwise identical either way (see :mod:`repro.core.planner`).
     """
     b = np.asarray(b, dtype=np.float64)
     n = tri.shape[0]
@@ -300,15 +381,18 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
         result = run_sptrsv(flipped, b[::-1].copy(), config, lower=True,
                             precision=precision, fidelity=fidelity,
                             reorder=reorder, leaf_size=leaf_size,
-                            engine_banks=engine_banks, engine=engine)
+                            engine_banks=engine_banks, engine=engine,
+                            planner=planner)
         result.x = result.x[::-1].copy()
         return result
 
+    planner_name = resolve_planner(planner)
     perm = None
     work = tri
     rhs = b.copy()
     if reorder:
-        perm, work = reorder_by_levels(tri, lower=True)
+        perm, work = reorder_by_levels(tri, lower=True,
+                                       planner=planner_name)
         rhs = b[perm].copy()
 
     leaf = leaf_size or tile_capacity(config, precision)
@@ -317,15 +401,22 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                                 num_banks=config.total_units,
                                 n=n, leaf_size=leaf)
     strict = work.strictly_lower()
-    csr_cols = CSRMatrix.from_coo(strict.transpose())  # column access
+    if planner_name == "fast":
+        # Column-major order gives every leaf block's elements as one
+        # contiguous (column, row)-sorted slice range.
+        solve_leaf = _solve_leaf_fast
+        leaf_source = strict.sorted_cols()
+    else:
+        solve_leaf = _solve_leaf_scalar
+        leaf_source = CSRMatrix.from_coo(strict.transpose())  # col access
 
     for step in plan:
         if step.kind == "update":
             _apply_update(strict, rhs, step, config, precision, fidelity,
-                          engine_banks, execution, engine)
+                          engine_banks, execution, engine, planner_name)
         else:
-            _solve_leaf(csr_cols, rhs, step, config, precision, fidelity,
-                        engine_banks, execution, engine)
+            solve_leaf(leaf_source, rhs, step, config, precision, fidelity,
+                       engine_banks, execution, engine)
 
     x = rhs
     if perm is not None:
@@ -338,7 +429,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
 def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
                   config, precision, fidelity, engine_banks,
                   execution: SpTrsvExecution,
-                  engine: Optional[str] = None) -> None:
+                  engine: Optional[str] = None,
+                  planner: Optional[str] = None) -> None:
     """b1 -= M @ x0 (Eq. 3's SpMV between the two recursive solves)."""
     from .spmv import run_spmv  # local import: spmv <-> sptrsv layering
     r0, r1 = step.row_range
@@ -349,18 +441,19 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
     result = run_spmv(block, rhs[c0:c1], config, precision=precision,
                       fidelity=fidelity, accumulate="sub",
                       y0=rhs[r0:r1], engine_banks=engine_banks,
-                      engine=engine)
+                      engine=engine, planner=planner)
     rhs[r0:r1] = result.y
     execution.update_elements.append(block.nnz)
     execution.update_batches.append(result.execution.num_rounds)
     execution.update_execs.append(result.execution)
 
 
-def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
-                config, precision, fidelity, engine_banks,
-                execution: SpTrsvExecution,
-                engine: Optional[str] = None) -> None:
-    """Algorithm 3 with level batching inside one diagonal block."""
+def _solve_leaf_scalar(csr_cols: CSRMatrix, rhs: np.ndarray,
+                       step: SolveStep, config, precision, fidelity,
+                       engine_banks, execution: SpTrsvExecution,
+                       engine: Optional[str] = None) -> None:
+    """Algorithm 3 with level batching inside one diagonal block (oracle:
+    per-column loops over a column-access CSR)."""
     lo, hi = step.row_range
     width = hi - lo
     # Level schedule restricted to the block: depth over in-block deps.
@@ -376,11 +469,8 @@ def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
             np.maximum.at(depth, rows_below, depth[local_col] + 1)
 
     num_levels = int(depth.max()) + 1 if width else 0
-    num_banks = config.total_units
     for level in range(num_levels):
         cols = np.nonzero(depth == level)[0]
-        # The columns of this level are solved: x = b (unit diagonal).
-        scales = rhs[lo + cols]
         rows_list, cols_list, vals_list = [], [], []
         for local_index, col in enumerate(cols):
             rows_below, vals_below = block_cols[col]
@@ -393,22 +483,78 @@ def _solve_leaf(csr_cols: CSRMatrix, rhs: np.ndarray, step: SolveStep,
         lcols = np.concatenate(cols_list) if cols_list else np.zeros(
             0, dtype=np.int64)
         vals = np.concatenate(vals_list) if vals_list else np.zeros(0)
+        _run_leaf_level(cols, rows, lcols, vals, rhs, lo, width, config,
+                        precision, fidelity, engine_banks, execution,
+                        engine)
 
-        if rows.size:
-            per_bank = _split_rows(rows, lcols, vals, num_banks)
-            batch = max(chunk[0].size for chunk in per_bank)
-            execution.level_batches.append(int(batch))
-            if fidelity == "fast":
-                # scatter-subtract: a row can receive updates from several
-                # columns of the same level, so duplicates must accumulate
-                np.subtract.at(rhs, lo + rows, vals * scales[lcols])
-            else:
-                _leaf_level_functional(per_bank, scales, rhs, lo, width,
-                                       precision, engine_banks, engine)
+
+def _solve_leaf_fast(col_sorted: COOMatrix, rhs: np.ndarray,
+                     step: SolveStep, config, precision, fidelity,
+                     engine_banks, execution: SpTrsvExecution,
+                     engine: Optional[str] = None) -> None:
+    """Fast leaf scheduler over the column-sorted strict matrix.
+
+    The block's elements are one column-range slice (rows filtered to the
+    block), already in the oracle's (column, row) emission order; depth
+    comes from the same frontier sweep as :func:`level_schedule` and each
+    level's elements are gathered with ``concat_ranges`` instead of
+    per-column concatenation. All per-level arrays — and therefore the
+    float accumulation order of the rhs updates — match the scalar oracle
+    exactly.
+    """
+    lo, hi = step.row_range
+    width = hi - lo
+    if width == 0:
+        return
+    c0 = np.searchsorted(col_sorted.cols, lo, side="left")
+    c1 = np.searchsorted(col_sorted.cols, hi, side="left")
+    erows = col_sorted.rows[c0:c1]
+    # strict lower: every element's row exceeds its column >= lo already
+    keep = erows < hi
+    erows = erows[keep] - lo
+    ecols = col_sorted.cols[c0:c1][keep] - lo
+    evals = col_sorted.vals[c0:c1][keep]
+
+    depth = _level_depths_fast(width, erows, ecols)
+    col_ptr = np.searchsorted(ecols, np.arange(width + 1))
+    num_levels = int(depth.max()) + 1 if width else 0
+    level_order = np.argsort(depth, kind="stable")
+    level_bounds = np.append(0, np.cumsum(np.bincount(depth)))
+    for level in range(num_levels):
+        cols = level_order[level_bounds[level]:level_bounds[level + 1]]
+        starts, ends = col_ptr[cols], col_ptr[cols + 1]
+        gather = concat_ranges(starts, ends)
+        rows = erows[gather]
+        vals = evals[gather]
+        lcols = np.repeat(np.arange(cols.size, dtype=np.int64),
+                          ends - starts)
+        _run_leaf_level(cols, rows, lcols, vals, rhs, lo, width, config,
+                        precision, fidelity, engine_banks, execution,
+                        engine)
+
+
+def _run_leaf_level(cols, rows, lcols, vals, rhs, lo, width, config,
+                    precision, fidelity, engine_banks,
+                    execution: SpTrsvExecution,
+                    engine: Optional[str] = None) -> None:
+    """Execute one leaf level (shared by both planners)."""
+    # The columns of this level are solved: x = b (unit diagonal).
+    scales = rhs[lo + cols]
+    if rows.size:
+        per_bank = _split_rows(rows, lcols, vals, config.total_units)
+        batch = max(chunk[0].size for chunk in per_bank)
+        execution.level_batches.append(int(batch))
+        if fidelity == "fast":
+            # scatter-subtract: a row can receive updates from several
+            # columns of the same level, so duplicates must accumulate
+            np.subtract.at(rhs, lo + rows, vals * scales[lcols])
         else:
-            execution.level_batches.append(0)
-        execution.level_elements.append(int(rows.size))
-        execution.level_widths.append(int(cols.size))
+            _leaf_level_functional(per_bank, scales, rhs, lo, width,
+                                   precision, engine_banks, engine)
+    else:
+        execution.level_batches.append(0)
+    execution.level_elements.append(int(rows.size))
+    execution.level_widths.append(int(cols.size))
 
 
 def _split_rows(rows, cols, vals, num_banks):

@@ -147,16 +147,39 @@ class COOMatrix:
         return self
 
     def sorted_rows(self) -> "COOMatrix":
-        """Return a copy sorted row-major (row, then column) — SpMV order."""
+        """Return a copy sorted row-major (row, then column) — SpMV order.
+
+        Already-sorted matrices are returned as-is (no copy): planners call
+        this on every entry and repeated sorts of canonical inputs were
+        pure overhead. Callers must treat the result as read-only, which
+        they already did for the copying path's arrays.
+        """
+        if self._is_sorted(self.rows, self.cols):
+            return self
         order = np.lexsort((self.cols, self.rows))
         return COOMatrix(self.shape, self.rows[order], self.cols[order],
                          self.vals[order], check=False)
 
     def sorted_cols(self) -> "COOMatrix":
-        """Return a copy sorted column-major — the Fig. 7 SpTRSV order."""
+        """Return a copy sorted column-major — the Fig. 7 SpTRSV order.
+
+        Like :meth:`sorted_rows`, returns ``self`` when already in order.
+        """
+        if self._is_sorted(self.cols, self.rows):
+            return self
         order = np.lexsort((self.rows, self.cols))
         return COOMatrix(self.shape, self.rows[order], self.cols[order],
                          self.vals[order], check=False)
+
+    @staticmethod
+    def _is_sorted(major: np.ndarray, minor: np.ndarray) -> bool:
+        """True when entries are already (major, minor) lexicographic."""
+        if major.size < 2:
+            return True
+        dm = np.diff(major)
+        if np.any(dm < 0):
+            return False
+        return not np.any((dm == 0) & (np.diff(minor) < 0))
 
     # ------------------------------------------------------------------
     # dense interop and reference arithmetic (golden models for tests)

@@ -43,7 +43,9 @@ CACHE_DIR_ENV = "PSYNCPIM_CACHE_DIR"
 #: Bump to invalidate every previously stored artifact (layout changes).
 #: v2: traces are emitted with CommandRun batching — regenerating stored
 #: per-command traces lets cached sweeps use the closed-form pricing path.
-CACHE_VERSION = 2
+#: v3: SubMatrix/PartitionPlan pickle with cached per-tile statistics
+#: (touched_rows, tile_nnz/x_lengths arrays) from the vectorized planner.
+CACHE_VERSION = 3
 
 _MISS = object()
 

@@ -160,11 +160,13 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
         "plan", plan_key,
         lambda: plan_spmv(matrix, config, precision=job.precision,
                           compress=job.compress, policy=job.policy,
-                          matrix_format=job.matrix_format)[:2])
+                          matrix_format=job.matrix_format,
+                          validate=False)[:2])
     _, _, execution = plan_spmv(matrix, config, precision=job.precision,
                                 compress=job.compress, policy=job.policy,
                                 matrix_format=job.matrix_format,
-                                plan=plan, assignment=assignment)
+                                plan=plan, assignment=assignment,
+                                validate=False)
 
     trace_key = cache.key("spmv-trace", execution, config, params, job.mode)
     schedule_key = cache.key("spmv-schedule", trace_key, job.with_energy)

@@ -15,8 +15,10 @@ import time
 import numpy as np
 
 from conftest import BENCH_SCALE, RESULTS_DIR, bench_matrix, bench_vector
+from repro import obs
 from repro.config import default_system
-from repro.core import price_trace, run_spmv, run_sptrsv, spmv_ab_trace
+from repro.core import (price_trace, run_spmv, run_sptrsv, spmv_ab_trace,
+                        time_spmv)
 from repro.dram import expand_trace
 from repro.formats.generators import uniform_random, unit_lower_from
 
@@ -92,3 +94,66 @@ def test_engine_microbenchmark():
     assert bench["speedups"]["pricing"] > 1.0, bench
     if BENCH_SCALE >= 0.05:
         assert bench["speedups"]["spmv"] >= 5.0, bench
+
+
+def test_obs_overhead_guard():
+    """Disabled observability must cost < 2% of an instrumented workload.
+
+    Wall-clock A/B timings of the full workload are too noisy for a CI
+    gate, so the guard is built from two stable measurements: the per-call
+    cost of a disabled instrumentation site (one module-global boolean
+    test) times the number of recording calls an obs-on run actually
+    performs, compared against the obs-off workload runtime. The obs-on
+    run also proves enabling recording never changes modelled numbers, and
+    exports the Chrome trace CI uploads as an artifact.
+    """
+    matrix = bench_matrix("facebook")
+    x = bench_vector(matrix.shape[1], seed=1)
+
+    def workload():
+        result = run_spmv(matrix, x, CFG)
+        report = time_spmv(result.execution, CFG, with_energy=True)
+        return result.y, report
+
+    obs.reset()
+    obs.disable()
+    t_off, (y_off, report_off) = _best_of(workload)
+
+    obs.enable()
+    try:
+        t_on, (y_on, report_on) = _best_of(workload)
+        update_count = obs.recorder().update_count
+        obs.export(RESULTS_DIR / "obs")
+    finally:
+        obs.reset()
+        obs.disable()
+    assert np.array_equal(y_off, y_on), \
+        "enabling observability changed SpMV results"
+    assert report_off.cycles == report_on.cycles
+    assert report_off.counts == report_on.counts
+    assert report_off.energy.total_pj == report_on.energy.total_pj
+    assert update_count > 0
+
+    # Per-call price of a disabled site, measured on the no-op fast path.
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs.add_counter("guard", 1.0)
+    per_call = (time.perf_counter() - start) / calls
+    assert not obs.recorder().counters  # the no-op path really no-ops
+
+    overhead = per_call * update_count
+    ratio = overhead / t_off
+    bench = {
+        "scale": BENCH_SCALE,
+        "workload_off_s": t_off,
+        "workload_on_s": t_on,
+        "recording_calls": update_count,
+        "disabled_call_ns": per_call * 1e9,
+        "estimated_disabled_overhead_s": overhead,
+        "estimated_disabled_overhead_pct": 100.0 * ratio,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_obs.json"
+    out.write_text(json.dumps(bench, indent=2) + "\n", encoding="utf-8")
+    assert ratio < 0.02, bench

@@ -94,11 +94,24 @@ class JobRecord:
     worker: str = ""
     extras: Dict[str, Any] = field(default_factory=dict)
     job: Any = None
+    #: Exception summary (``"ValueError: ..."``) when the job failed;
+    #: empty on success. Failed jobs carry no report.
+    error: str = ""
+    #: Full formatted traceback of the failure (empty on success).
+    traceback: str = ""
+    #: Observability payload recorded inside the worker while
+    #: ``PSYNCPIM_OBS`` was on (``Recorder.delta_since`` dict); ``None``
+    #: when observability was off.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def cached(self) -> bool:
         """True when every pipeline stage came from the artifact cache."""
         return self.cache_misses == 0 and self.cache_hits > 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error)
 
 
 @dataclass
@@ -138,6 +151,42 @@ class SweepResult:
     def report(self, label: str) -> Any:
         """The :class:`PerfReport` of the job labelled *label*."""
         return self.record(label).report
+
+    # -- failure observability ----------------------------------------
+    @property
+    def failures(self) -> List[JobRecord]:
+        """Records whose job raised (captured, not propagated)."""
+        return [record for record in self.records if record.failed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no job failed."""
+        return not self.failures
+
+    def raise_failures(self) -> None:
+        """Re-raise the first failure (with its worker traceback) if any."""
+        from ..errors import ExecutionError
+        failures = self.failures
+        if failures:
+            first = failures[0]
+            raise ExecutionError(
+                f"{len(failures)} sweep job(s) failed; first: "
+                f"{first.label}: {first.error}\n{first.traceback}")
+
+    # -- metric aggregation -------------------------------------------
+    def merged_counters(self) -> Dict[str, float]:
+        """Sum the per-job observability counters across all records.
+
+        Only populated when the sweep ran with ``PSYNCPIM_OBS`` on; an
+        empty dict otherwise.
+        """
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            if not record.metrics:
+                continue
+            for name, value in record.metrics.get("counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
 
     # -- cache observability ------------------------------------------
     @property
@@ -189,7 +238,8 @@ class SweepResult:
                         else float("nan"))
             rows.append([
                 record.label,
-                "-" if math.isnan(model_us) else f"{model_us:.2f}",
+                ("FAILED" if record.failed
+                 else "-" if math.isnan(model_us) else f"{model_us:.2f}"),
                 record.wall_seconds * 1e3,
                 record.cache_hits,
                 record.cache_misses,
@@ -207,4 +257,8 @@ class SweepResult:
             f"parallel speedup: {self.parallel_speedup:.2f}x\n"
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
             f"(hit rate {100.0 * self.hit_rate:.0f}%) at {cache}")
+        failures = self.failures
+        if failures:
+            footer += (f"\nfailures: {len(failures)} "
+                       f"({', '.join(r.label for r in failures)})")
         return table + "\n" + footer

@@ -9,9 +9,13 @@ Four subcommands cover the common workflows without writing Python:
 * ``app``    — run one Table II application on the GPU and PIM backends.
 * ``sweep``  — run a batch of jobs across worker processes with
   content-addressed artifact caching (see :mod:`repro.sweep`).
+* ``profile`` — render an observability run (``PSYNCPIM_OBS=1``) as
+  per-phase / per-bank / DRAM / energy tables (see :mod:`repro.obs`).
 
 Matrices come from the Table IX registry (``--matrix``) or a Matrix Market
-file (``--mtx``).
+file (``--mtx``). With ``PSYNCPIM_OBS=1`` in the environment every command
+exports its trace and metrics on exit (``PSYNCPIM_OBS_DIR`` or
+``./psyncpim-obs``), ready for ``psyncpim profile`` or chrome://tracing.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from . import __version__
+from . import __version__, obs
 from .analysis import format_table, table_x_model, unit_area
 from .baselines import GPUModel, SpaceAModel
 from .config import default_system
@@ -40,7 +44,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.print_help()
         return 2
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        _maybe_export_obs(args)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -52,6 +58,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:
             pass
         return 141
+
+
+def _maybe_export_obs(args) -> None:
+    """Export the observability run when ``PSYNCPIM_OBS`` was on."""
+    if (args.command == "profile" or not obs.enabled()
+            or not obs.recorder().update_count):
+        return
+    paths = obs.export()
+    print(f"\nobs: wrote {', '.join(str(p) for p in paths.values())}",
+          file=sys.stderr)
+    print("obs: view with `psyncpim profile` or load trace.json in "
+          "chrome://tracing", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--energy", action="store_true",
                        help="price energy alongside cycles")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    profile = sub.add_parser(
+        "profile", help="render a PSYNCPIM_OBS run as profile tables")
+    profile.add_argument("path", nargs="?", default=None,
+                         help="obs output dir or metrics.json (default: "
+                              "PSYNCPIM_OBS_DIR or ./psyncpim-obs)")
+    profile.add_argument("--banks", type=int, default=16,
+                         help="per-bank table rows to show (default 16)")
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 
@@ -252,6 +279,18 @@ def _cmd_sweep(args) -> int:
     print(result.summary_table(
         title=f"sweep: {len(jobs)} {kernel} jobs over "
               f"{len(set(job.matrix for job in jobs))} matrices"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    path = args.path if args.path is not None else obs.default_dir()
+    try:
+        metrics = obs.load_metrics(path)
+    except FileNotFoundError:
+        print(f"error: no metrics at {path}; run a command with "
+              f"PSYNCPIM_OBS=1 first", file=sys.stderr)
+        return 1
+    print(obs.render_profile(metrics, max_banks=args.banks))
     return 0
 
 

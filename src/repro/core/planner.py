@@ -76,23 +76,35 @@ class Planner:
 
     def partition(self, matrix, config, **kwargs):
         from .partition import partition
-        return partition(matrix, config, planner=self.name, **kwargs)
+        from .. import obs
+        with obs.span("plan.partition", cat="planner", impl=self.name):
+            return partition(matrix, config, planner=self.name, **kwargs)
 
     def distribute(self, plan, num_banks, **kwargs):
         from .distribution import distribute
-        return distribute(plan, num_banks, planner=self.name, **kwargs)
+        from .. import obs
+        with obs.span("plan.distribute", cat="planner", impl=self.name):
+            return distribute(plan, num_banks, planner=self.name, **kwargs)
 
     def level_schedule(self, tri, **kwargs):
         from .sptrsv import level_schedule
-        return level_schedule(tri, planner=self.name, **kwargs)
+        from .. import obs
+        with obs.span("plan.level_schedule", cat="planner",
+                      impl=self.name):
+            return level_schedule(tri, planner=self.name, **kwargs)
 
     def reorder_by_levels(self, tri, **kwargs):
         from .sptrsv import reorder_by_levels
-        return reorder_by_levels(tri, planner=self.name, **kwargs)
+        from .. import obs
+        with obs.span("plan.reorder_by_levels", cat="planner",
+                      impl=self.name):
+            return reorder_by_levels(tri, planner=self.name, **kwargs)
 
     def plan_spmv(self, matrix, config, **kwargs):
         from .spmv import plan_spmv
-        return plan_spmv(matrix, config, planner=self.name, **kwargs)
+        from .. import obs
+        with obs.span("plan.spmv", cat="planner", impl=self.name):
+            return plan_spmv(matrix, config, planner=self.name, **kwargs)
 
 
 def make_planner(planner: str = None) -> Planner:

@@ -25,6 +25,7 @@ from ..config import SystemConfig, element_size
 from ..errors import ExecutionError
 from ..formats import COOMatrix
 from ..kernels import Tile, run_tile_round
+from .. import obs
 from ..pim import make_engine
 from .distribution import (Assignment, accumulation_traffic_bytes,
                            distribute, replication_traffic_bytes)
@@ -112,13 +113,17 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
     round-trip check in trusted hot paths such as the sweep runner.
     """
     if plan is None:
-        plan = partition(matrix, config, precision=precision,
-                         compress=compress, planner=planner,
-                         validate=validate)
+        with obs.span("plan.partition", cat="planner",
+                      nnz=matrix.nnz, compress=compress):
+            plan = partition(matrix, config, precision=precision,
+                             compress=compress, planner=planner,
+                             validate=validate)
     num_banks = config.total_units
     if assignment is None:
-        assignment = distribute(plan, num_banks, policy=policy,
-                                planner=planner)
+        with obs.span("plan.distribute", cat="planner",
+                      tiles=len(plan.tiles), policy=policy):
+            assignment = distribute(plan, num_banks, policy=policy,
+                                    planner=planner)
 
     value_bytes = element_size(precision)
     stream_bpe = _stream_bytes_per_element(matrix_format, plan,
@@ -145,6 +150,11 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
             max((t.touched_rows for t in round_tiles if t is not None),
                 default=0) for round_tiles in assignment.rounds],
     )
+    if obs.enabled():
+        obs.set_gauge("spmv.banks_used", execution.banks_used)
+        obs.set_gauge("spmv.imbalance", execution.imbalance)
+        obs.set_gauge("spmv.rounds", execution.num_rounds)
+        obs.add_counter("spmv.plans", 1)
     return plan, assignment, execution
 
 
@@ -185,11 +195,16 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
         assignment=assignment, planner=planner, validate=validate)
 
     if fidelity == "fast":
-        y = _fast_rounds(matrix, x, assignment, accumulate, multiply, y0)
+        with obs.span("spmv.rounds", cat="kernel", fidelity=fidelity,
+                      rounds=assignment.num_rounds):
+            y = _fast_rounds(matrix, x, assignment, accumulate, multiply,
+                             y0)
     elif fidelity == "functional":
-        y = _functional_rounds(matrix, x, assignment, precision,
-                               accumulate, multiply, y0, engine_banks,
-                               engine)
+        with obs.span("spmv.rounds", cat="kernel", fidelity=fidelity,
+                      rounds=assignment.num_rounds):
+            y = _functional_rounds(matrix, x, assignment, precision,
+                                   accumulate, multiply, y0, engine_banks,
+                                   engine)
     else:
         raise ExecutionError(f"unknown fidelity {fidelity!r}")
     return SpmvResult(y=y, execution=execution, plan=plan,

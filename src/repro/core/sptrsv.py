@@ -30,6 +30,7 @@ from ..errors import ExecutionError, MappingError, SolverError
 from ..formats import COOMatrix, CSRMatrix
 from ..kernels import Tile, run_tile_round
 from ..pim import make_engine
+from .. import obs
 from .partition import tile_capacity
 from .planner import concat_ranges
 
@@ -62,6 +63,7 @@ class ILDUFactors:
         return solve_unit_triangular_reference(self.upper, y, lower=False)
 
 
+@obs.profiled("sptrsv.ildu", cat="planner")
 def ildu(matrix: COOMatrix) -> ILDUFactors:
     """Incomplete LDU decomposition on the pattern of *matrix* (ILU(0)).
 
@@ -391,8 +393,10 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
     work = tri
     rhs = b.copy()
     if reorder:
-        perm, work = reorder_by_levels(tri, lower=True,
-                                       planner=planner_name)
+        with obs.span("sptrsv.level_schedule", cat="planner", n=n,
+                      nnz=tri.nnz):
+            perm, work = reorder_by_levels(tri, lower=True,
+                                           planner=planner_name)
         rhs = b[perm].copy()
 
     leaf = leaf_size or tile_capacity(config, precision)
@@ -410,13 +414,19 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
         solve_leaf = _solve_leaf_scalar
         leaf_source = CSRMatrix.from_coo(strict.transpose())  # col access
 
-    for step in plan:
-        if step.kind == "update":
-            _apply_update(strict, rhs, step, config, precision, fidelity,
-                          engine_banks, execution, engine, planner_name)
-        else:
-            solve_leaf(leaf_source, rhs, step, config, precision, fidelity,
-                       engine_banks, execution, engine)
+    with obs.span("sptrsv.solve", cat="kernel", n=n, steps=len(plan),
+                  fidelity=fidelity):
+        for step in plan:
+            if step.kind == "update":
+                _apply_update(strict, rhs, step, config, precision,
+                              fidelity, engine_banks, execution, engine,
+                              planner_name)
+            else:
+                solve_leaf(leaf_source, rhs, step, config, precision,
+                           fidelity, engine_banks, execution, engine)
+    if obs.enabled():
+        obs.set_gauge("sptrsv.levels", execution.num_levels)
+        obs.add_counter("sptrsv.solves", 1)
 
     x = rhs
     if perm is not None:

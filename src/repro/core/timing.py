@@ -14,6 +14,7 @@ from ..config import SystemConfig
 from ..dram import (CommandType, EnergyReport, MemoryController,
                     TimingParams, TraceEntry, as_run)
 from ..errors import ExecutionError
+from .. import obs
 from .spmv import SpmvExecution
 from .sptrsv import SpTrsvExecution
 from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
@@ -57,8 +58,9 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
                        if cmd.kind.is_column and cmd.tag in HOST_TAGS)
     controller = MemoryController(timing=timing, num_channels=16,
                                   enable_refresh=enable_refresh)
-    result = controller.run(trace, with_energy=with_energy,
-                            host_column_traffic=host_columns)
+    with obs.span("price_trace", cat="dram", entries=len(trace)):
+        result = controller.run(trace, with_energy=with_energy,
+                                host_column_traffic=host_columns)
     if with_energy and result.energy is not None:
         # The trace covers one representative channel; every channel of
         # the cube runs the same schedule, so command/background energy
@@ -76,6 +78,11 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
             from ..dram import EnergyModel
             EnergyModel(timing=timing).add_alu(e, alu_operations,
                                                precision)
+        if obs.enabled():
+            for name, pj in e.as_dict().items():
+                if pj:
+                    obs.add_counter(f"energy.{name}", pj)
+            obs.add_counter("energy.total_pj", e.total_pj)
     return PerfReport(cycles=result.total_cycles,
                       seconds=result.seconds(timing),
                       commands=result.command_total,

@@ -280,6 +280,38 @@ class ChannelScheduler:
             self._next_refresh += self.timing.trefi
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def row_misses(self) -> int:
+        """Column accesses that needed a fresh activation (the ACTs)."""
+        return (self.counts[CommandType.ACT]
+                + self.counts[CommandType.ACT_AB])
+
+    @property
+    def row_hits(self) -> int:
+        """Column accesses served from an already-open row.
+
+        Every column command legally requires its row open, so each ACT
+        buys the first access as the miss and every further column against
+        that row is a hit.
+        """
+        columns = sum(n for k, n in self.counts.items() if k.is_column)
+        return max(columns - self.row_misses, 0)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters of this channel's schedule so far."""
+        columns = sum(n for k, n in self.counts.items() if k.is_column)
+        return {
+            "cycles": self._now,
+            "commands": sum(self.counts.values()),
+            "column_commands": columns,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "refreshes": self.refreshes_performed,
+        }
+
+    # ------------------------------------------------------------------
     def _bank(self, index: int) -> BankState:
         if not 0 <= index < BANKS_PER_CHANNEL:
             raise TimingError(f"bank index {index} outside channel")

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from ..errors import TimingError
+from .. import obs
 from .channel import BANKS_PER_CHANNEL, ChannelScheduler
 from .commands import Command, CommandType, TraceEntry, as_run
 from .power import EnergyModel, EnergyParams, EnergyReport
@@ -68,6 +69,16 @@ class ScheduleResult:
         if self.total_cycles <= 0:
             return 0.0
         return min(1.0, self.column_commands / self.total_cycles)
+
+    @property
+    def row_misses(self) -> int:
+        """Column accesses that needed a fresh activation (the ACTs)."""
+        return self.activations
+
+    @property
+    def row_hits(self) -> int:
+        """Column accesses served from an already-open row."""
+        return max(self.column_commands - self.activations, 0)
 
 
 class MemoryController:
@@ -153,7 +164,23 @@ class MemoryController:
             if alu_operations:
                 self._energy_model.add_alu(report, alu_operations, precision)
             result.energy = report
+        if obs.enabled():
+            self._obs_emit(result)
         return result
+
+    @staticmethod
+    def _obs_emit(result: ScheduleResult) -> None:
+        """Feed the schedule's command mix and locality counters to obs."""
+        for kind, n in result.counts.items():
+            if n:
+                obs.add_counter(f"dram.cmd.{kind.name}", n)
+        obs.add_counter("dram.commands", result.command_total)
+        obs.add_counter("dram.cycles", result.total_cycles, sample=True)
+        obs.add_counter("dram.refreshes", result.refreshes)
+        obs.add_counter("dram.row_hits", result.row_hits)
+        obs.add_counter("dram.row_misses", result.row_misses)
+        for tag, cycles in result.tag_cycles.items():
+            obs.add_counter(f"dram.tag_cycles.{tag}", cycles)
 
 
 def count_commands(trace: Iterable[TraceEntry]) -> Dict[CommandType, int]:

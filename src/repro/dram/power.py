@@ -80,6 +80,18 @@ class EnergyReport:
     def total_joules(self) -> float:
         return self.total_pj * 1e-12
 
+    def as_dict(self) -> Dict[str, float]:
+        """Per-source breakdown in pJ, keyed by the field names."""
+        return {
+            "activation_pj": self.activation_pj,
+            "read_pj": self.read_pj,
+            "write_pj": self.write_pj,
+            "external_pj": self.external_pj,
+            "refresh_pj": self.refresh_pj,
+            "background_pj": self.background_pj,
+            "alu_pj": self.alu_pj,
+        }
+
     def average_power_watts(self, elapsed_cycles: int,
                             timing: TimingParams) -> float:
         """Mean power over *elapsed_cycles* of DRAM time."""

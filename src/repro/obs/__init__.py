@@ -1,0 +1,162 @@
+"""``repro.obs`` — spans, counters and trace export for every layer.
+
+The observability subsystem the evaluation sections lean on: host-side
+phase spans (planning, engine rounds, sweep jobs), a counter/gauge
+registry fed by the simulators (per-bank busy/idle beats, lane
+predication/exit/exhaustion occupancy, DRAM command mix and row hit/miss,
+energy breakdowns, sweep cache hits), and exporters producing a Chrome
+``chrome://tracing``/Perfetto trace, a flat JSON/CSV metrics dump and the
+``psyncpim profile`` report.
+
+**Off by default, zero overhead when off.** Instrumentation sites call the
+module-level helpers below; while disabled, :func:`span` returns a shared
+no-op context manager and every counter helper returns after one boolean
+test — nothing is allocated and no recorder state is touched, so the hot
+paths (lane engine beats, closed-form DRAM pricing, sweep workers) are
+regression-free. Enable with ``PSYNCPIM_OBS=1`` in the environment (the
+CLI then exports automatically on exit) or programmatically::
+
+    from repro import obs
+
+    obs.enable()
+    ... run kernels ...
+    obs.export(obs.default_dir())        # trace.json + metrics.json + csv
+
+Sweep workers inherit the environment gate; :mod:`repro.sweep.runner`
+ships each job's recorded delta back in its :class:`JobRecord` and merges
+worker payloads into the parent recorder, so one exported trace covers the
+whole fan-out with true process/thread ids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .export import (MAX_BANK_SERIES, chrome_trace, default_obs_dir,
+                     export_all, load_metrics, metrics_dict, metrics_rows,
+                     span_summary)
+from .profile import render_profile
+from .recorder import (OBS_DIR_ENV, OBS_ENV, Mark, Recorder, SpanEvent,
+                       env_enabled)
+
+#: The process-wide recorder every instrumented layer feeds.
+_RECORDER = Recorder()
+
+#: The one gate the hot paths test. Module-global so a disabled site costs
+#: one attribute lookup and one branch.
+_ENABLED = env_enabled()
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """Whether observability is currently recording."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn recording on (equivalent to ``PSYNCPIM_OBS=1``)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn recording off; already-recorded data is kept until reset()."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset() -> None:
+    """Drop everything recorded so far (the gate state is unchanged)."""
+    _RECORDER.reset()
+
+
+def recorder() -> Recorder:
+    """The process-wide recorder (for snapshots, merges and exporters)."""
+    return _RECORDER
+
+
+# ----------------------------------------------------------------------
+# recording helpers (no-ops while disabled)
+# ----------------------------------------------------------------------
+def span(name: str, cat: str = "host", **args: Any):
+    """Time a named phase: ``with obs.span("partition"): ...``."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _RECORDER.span(name, cat=cat, **args)
+
+
+def profiled(name: str, cat: str = "host"):
+    """Decorator form of :func:`span` for whole functions."""
+    def wrap(fn):
+        import functools
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any):
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            with _RECORDER.span(name, cat=cat):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
+
+
+def add_counter(name: str, value: float = 1.0,
+                sample: bool = False) -> None:
+    """Accumulate onto a counter (no-op while disabled)."""
+    if _ENABLED:
+        _RECORDER.add_counter(name, value, sample=sample)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Record a gauge observation (no-op while disabled)."""
+    if _ENABLED:
+        _RECORDER.set_gauge(name, value)
+
+
+def add_bank_counter(name: str, values: Sequence[float],
+                     sample: bool = False) -> None:
+    """Accumulate a per-bank array (no-op while disabled)."""
+    if _ENABLED:
+        _RECORDER.add_bank_counter(name, values, sample=sample)
+
+
+# ----------------------------------------------------------------------
+# export conveniences
+# ----------------------------------------------------------------------
+def export(directory: Optional[Any] = None):
+    """Write trace.json/metrics.json/metrics.csv; returns the paths."""
+    return export_all(_RECORDER,
+                      default_obs_dir() if directory is None else directory)
+
+
+def default_dir():
+    """Where :func:`export` writes by default (``PSYNCPIM_OBS_DIR``)."""
+    return default_obs_dir()
+
+
+__all__ = [
+    "MAX_BANK_SERIES", "OBS_DIR_ENV", "OBS_ENV", "Mark", "Recorder",
+    "SpanEvent",
+    "add_bank_counter", "add_counter", "chrome_trace", "default_dir",
+    "default_obs_dir", "disable", "enable", "enabled", "env_enabled",
+    "export", "export_all", "load_metrics", "metrics_dict",
+    "metrics_rows", "profiled", "recorder", "render_profile", "reset",
+    "set_gauge", "span", "span_summary",
+]

@@ -1,0 +1,166 @@
+"""The human-readable profile report behind ``psyncpim profile``.
+
+Renders one metrics dump (see :func:`repro.obs.export.metrics_dict`) into
+the tables the paper's evaluation sections reason with:
+
+* **per-phase** — where the host-side wall-clock went (planner phases,
+  engine rounds, sweep jobs), with call counts, totals and self time;
+* **per-bank** — busy vs idle beats per processing-unit lane, the
+  bank-utilisation view behind Fig. 12's breakdown argument;
+* **DRAM** — command mix, row-buffer hit/miss and the per-tag cycle
+  attribution of the scheduled traces;
+* **energy** — the pJ breakdown by source when energy pricing ran.
+
+Rendering reuses :func:`repro.analysis.format_table` so profile output
+lines up visually with every other report the toolkit prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..analysis.report import format_table
+
+#: Show at most this many individual banks in the per-bank table; the
+#: remainder is folded into aggregate rows (256 banks do not fit a screen).
+MAX_BANK_ROWS = 16
+
+
+def render_profile(metrics: Dict[str, Any],
+                   max_banks: int = MAX_BANK_ROWS) -> str:
+    """Render a full profile report from one metrics dump."""
+    sections = [_render_spans(metrics.get("spans", {}))]
+    banks = _render_banks(metrics.get("bank_counters", {}), max_banks)
+    if banks:
+        sections.append(banks)
+    dram = _render_dram(metrics.get("counters", {}))
+    if dram:
+        sections.append(dram)
+    energy = _render_energy(metrics.get("counters", {}))
+    if energy:
+        sections.append(energy)
+    other = _render_counters(metrics.get("counters", {}),
+                             metrics.get("gauges", {}))
+    if other:
+        sections.append(other)
+    return "\n\n".join(section for section in sections if section)
+
+
+# ----------------------------------------------------------------------
+def _render_spans(spans: Dict[str, Dict[str, float]]) -> str:
+    if not spans:
+        return ("no spans recorded "
+                "(run with PSYNCPIM_OBS=1 to collect phase timings)")
+    total = sum(entry["self_s"] for entry in spans.values())
+    rows: List[List[Any]] = []
+    ordered = sorted(spans.items(), key=lambda kv: -kv[1]["total_s"])
+    for name, entry in ordered:
+        share = 100.0 * entry["self_s"] / total if total else 0.0
+        rows.append([name, entry.get("cat", ""), int(entry["calls"]),
+                     entry["total_s"] * 1e3, entry["self_s"] * 1e3,
+                     entry["mean_s"] * 1e3, f"{share:.1f}"])
+    return format_table(
+        ["phase", "cat", "calls", "total (ms)", "self (ms)",
+         "mean (ms)", "self %"], rows,
+        title="per-phase timings")
+
+
+def _render_banks(bank_counters: Dict[str, List[float]],
+                  max_banks: int) -> str:
+    busy = bank_counters.get("engine.bank_busy_beats")
+    idle = bank_counters.get("engine.bank_idle_beats")
+    if not busy:
+        return ""
+    idle = idle or [0.0] * len(busy)
+    if len(idle) < len(busy):
+        idle = list(idle) + [0.0] * (len(busy) - len(idle))
+    pairs = list(zip(busy, idle))
+    order = sorted(range(len(pairs)), key=lambda i: -pairs[i][0])
+    rows: List[List[Any]] = []
+    for bank in order[:max_banks]:
+        b, i = pairs[bank]
+        util = 100.0 * b / (b + i) if b + i else 0.0
+        rows.append([f"bank {bank}", int(b), int(i), f"{util:.1f}"])
+    if len(pairs) > max_banks:
+        rest = order[max_banks:]
+        b = sum(pairs[i][0] for i in rest)
+        i = sum(pairs[i][1] for i in rest)
+        util = 100.0 * b / (b + i) if b + i else 0.0
+        rows.append([f"({len(rest)} more banks)", int(b), int(i),
+                     f"{util:.1f}"])
+    total_busy = sum(b for b, _ in pairs)
+    total_all = sum(b + i for b, i in pairs)
+    util = 100.0 * total_busy / total_all if total_all else 0.0
+    nonzero = sum(1 for b, _ in pairs if b)
+    title = (f"per-bank beats ({nonzero}/{len(pairs)} banks busy, "
+             f"utilisation {util:.1f}%)")
+    return format_table(["bank", "busy beats", "idle beats", "util %"],
+                        rows, title=title)
+
+
+def _render_dram(counters: Dict[str, float]) -> str:
+    mix = {name[len("dram.cmd."):]: value
+           for name, value in counters.items()
+           if name.startswith("dram.cmd.") and value}
+    if not mix:
+        return ""
+    total = sum(mix.values())
+    rows = [[kind, int(count), f"{100.0 * count / total:.1f}"]
+            for kind, count in sorted(mix.items(), key=lambda kv: -kv[1])]
+    hits = counters.get("dram.row_hits", 0.0)
+    misses = counters.get("dram.row_misses", 0.0)
+    accesses = hits + misses
+    locality = 100.0 * hits / accesses if accesses else 0.0
+    title = (f"DRAM command mix ({int(total)} commands, "
+             f"{int(counters.get('dram.cycles', 0))} cycles, "
+             f"row-buffer hit rate {locality:.1f}%)")
+    table = format_table(["command", "count", "share %"], rows,
+                         title=title)
+    tags = {name[len("dram.tag_cycles."):]: value
+            for name, value in counters.items()
+            if name.startswith("dram.tag_cycles.") and value}
+    if tags:
+        tag_total = sum(tags.values())
+        tag_rows = [[tag, int(cycles),
+                     f"{100.0 * cycles / tag_total:.1f}"]
+                    for tag, cycles in sorted(tags.items(),
+                                              key=lambda kv: -kv[1])]
+        table += "\n\n" + format_table(
+            ["tag", "cycles", "share %"], tag_rows,
+            title="cycle attribution by command tag")
+    return table
+
+
+def _render_energy(counters: Dict[str, float]) -> str:
+    energy = {name[len("energy."):-3]: value
+              for name, value in counters.items()
+              if name.startswith("energy.") and name.endswith("_pj")
+              and value and name != "energy.total_pj"}
+    if not energy:
+        return ""
+    total = sum(energy.values())
+    rows = [[source, value * 1e-6, f"{100.0 * value / total:.1f}"]
+            for source, value in sorted(energy.items(),
+                                        key=lambda kv: -kv[1])]
+    return format_table(["source", "energy (uJ)", "share %"], rows,
+                        title=f"energy breakdown ({total * 1e-6:.2f} uJ)")
+
+
+_SHOWN_PREFIXES = ("dram.cmd.", "dram.tag_cycles.", "energy.")
+
+
+def _render_counters(counters: Dict[str, float],
+                     gauges: Dict[str, float]) -> str:
+    rows: List[List[Any]] = []
+    for name in sorted(counters):
+        if name.startswith(_SHOWN_PREFIXES):
+            continue
+        rows.append([name, counters[name]])
+    for name in sorted(gauges):
+        rows.append([f"{name} (gauge)", gauges[name]])
+    if not rows:
+        return ""
+    return format_table(["metric", "value"], rows, title="other metrics")
+
+
+__all__ = ["MAX_BANK_ROWS", "render_profile"]

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from ..config import ProcessingUnitConfig
 from ..errors import ExecutionError
+from .. import obs
 from ..isa import Program
 from .beat import Beat
 from .memory import BankMemory
@@ -163,6 +164,7 @@ class AllBankEngine:
         """
         consumed = 0
         self.stats.kernel_launches += 1
+        mark = self._obs_mark()
         for beat in beats:
             if self.all_exited:
                 break
@@ -173,7 +175,40 @@ class AllBankEngine:
         if self.check_lockstep:
             self._assert_lockstep()
         self._collect_unit_stats()
+        if mark is not None:
+            self._obs_emit(mark)
         return consumed
+
+    def _obs_mark(self):
+        """Pre-run counter snapshot, or None while obs is disabled."""
+        if not obs.enabled():
+            return None
+        return ([u.stats.beats for u in self.units],
+                [u.stats.nop_beats for u in self.units],
+                self.stats.beats, self.stats.predicated_beats)
+
+    def _obs_emit(self, mark) -> None:
+        """Feed this launch's per-bank and divergence counters to obs.
+
+        The counter names and values match :class:`LaneEngine` exactly —
+        the differential obs tests pin that equivalence.
+        """
+        busy0, nop0, beats0, pred0 = mark
+        obs.add_bank_counter(
+            "engine.bank_busy_beats",
+            [u.stats.beats - b0 for u, b0 in zip(self.units, busy0)],
+            sample=True)
+        obs.add_bank_counter(
+            "engine.bank_idle_beats",
+            [u.stats.nop_beats - n0 for u, n0 in zip(self.units, nop0)])
+        obs.add_counter("engine.beats", self.stats.beats - beats0)
+        obs.add_counter("engine.predicated_beats",
+                        self.stats.predicated_beats - pred0)
+        obs.add_counter("engine.kernel_launches", 1)
+        obs.add_counter("engine.exited_lanes",
+                        sum(1 for u in self.units if u.exited))
+        obs.add_counter("engine.exhausted_lanes",
+                        sum(1 for u in self.units if u.exhausted_mask))
 
     def _assert_lockstep(self) -> None:
         pcs = {unit.pc for unit in self.units if not unit.exited}

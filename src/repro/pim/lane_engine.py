@@ -41,6 +41,7 @@ import numpy as np
 
 from ..config import ProcessingUnitConfig, element_size
 from ..errors import ExecutionError
+from .. import obs
 from ..isa import (BInstruction, CInstruction, Opcode, Operand, Program,
                    BinaryOp)
 from . import alu
@@ -369,6 +370,7 @@ class LaneEngine:
     def run(self, beats: Iterable[Beat]) -> int:
         consumed = 0
         self.stats.kernel_launches += 1
+        mark = self._obs_mark()
         for beat in beats:
             if self.all_exited:
                 break
@@ -376,7 +378,30 @@ class LaneEngine:
             consumed += 1
         self.flush_control()
         self._collect_unit_stats()
+        if mark is not None:
+            self._obs_emit(mark)
         return consumed
+
+    def _obs_mark(self):
+        """Pre-run counter snapshot, or None while obs is disabled."""
+        if not obs.enabled():
+            return None
+        return (self._beat_count.copy(), self._nop.copy(),
+                self.stats.beats, self.stats.predicated_beats)
+
+    def _obs_emit(self, mark) -> None:
+        """Feed this launch's per-bank and divergence counters to obs."""
+        busy0, nop0, beats0, pred0 = mark
+        obs.add_bank_counter("engine.bank_busy_beats",
+                             self._beat_count - busy0, sample=True)
+        obs.add_bank_counter("engine.bank_idle_beats", self._nop - nop0)
+        obs.add_counter("engine.beats", self.stats.beats - beats0)
+        obs.add_counter("engine.predicated_beats",
+                        self.stats.predicated_beats - pred0)
+        obs.add_counter("engine.kernel_launches", 1)
+        obs.add_counter("engine.exited_lanes", int(self.exited.sum()))
+        obs.add_counter("engine.exhausted_lanes",
+                        int(np.count_nonzero(self.exhausted_mask)))
 
     def flush_control(self) -> None:
         """Retire trailing non-bank instructions after the stream ends."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
@@ -26,6 +27,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.report import JobRecord, SweepResult
+from .. import obs
 from ..config import SystemConfig, default_system, gddr6_aim_system
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
@@ -273,7 +275,14 @@ _PIPELINES = {
 def execute_job(job: SweepJob,
                 cache_dir: Optional[Union[str, os.PathLike]] = None,
                 use_cache: bool = True) -> JobRecord:
-    """Run one job through its cached pipeline (worker entry point)."""
+    """Run one job through its cached pipeline (worker entry point).
+
+    Pipeline exceptions are *captured*, not propagated: the returned
+    record carries the exception summary and full traceback so one bad
+    job cannot take down a whole sweep (use
+    :meth:`SweepResult.raise_failures` for fail-fast behaviour). An
+    unknown kernel is a caller error and still raises.
+    """
     try:
         pipeline = _PIPELINES[job.kernel]
     except KeyError:
@@ -281,15 +290,35 @@ def execute_job(job: SweepJob,
             f"unknown sweep kernel {job.kernel!r}; "
             f"expected one of {sorted(_PIPELINES)}") from None
     cache = ArtifactCache(cache_dir, enabled=use_cache)
+    label = job.resolved_label()
+    mark = obs.recorder().mark() if obs.enabled() else None
     start = time.perf_counter()
-    report, extras = pipeline(job, cache)
+    report: Optional[PerfReport] = None
+    extras: Dict[str, Any] = {}
+    error = tb_text = ""
+    with obs.span("sweep.job", cat="sweep", label=label,
+                  kernel=job.kernel, matrix=job.matrix):
+        try:
+            report, extras = pipeline(job, cache)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            tb_text = traceback_module.format_exc()
     wall = time.perf_counter() - start
-    return JobRecord(label=job.resolved_label(), kernel=job.kernel,
+    metrics = None
+    if mark is not None:
+        obs.add_counter("sweep.cache_hits", cache.hit_count)
+        obs.add_counter("sweep.cache_misses", cache.miss_count)
+        obs.add_counter("sweep.jobs", 1)
+        if error:
+            obs.add_counter("sweep.job_failures", 1)
+        metrics = obs.recorder().delta_since(mark)
+    return JobRecord(label=label, kernel=job.kernel,
                      matrix=job.matrix, report=report,
                      seconds=report.seconds if report else 0.0,
                      wall_seconds=wall, cache_hits=cache.hit_count,
                      cache_misses=cache.miss_count,
-                     worker=f"pid-{os.getpid()}", extras=extras, job=job)
+                     worker=f"pid-{os.getpid()}", extras=extras, job=job,
+                     error=error, traceback=tb_text, metrics=metrics)
 
 
 def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
@@ -308,13 +337,28 @@ def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
         else max(int(workers), 1)
     workers = min(workers, max(len(jobs), 1))
     start = time.perf_counter()
-    if workers <= 1:
-        records = [execute_job(job, cache_dir, use_cache) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_job, job, cache_dir, use_cache)
+    with obs.span("sweep.run", cat="sweep", jobs=len(jobs),
+                  workers=workers):
+        if workers <= 1:
+            # Serial jobs record straight into this process's obs
+            # recorder; their JobRecord.metrics payloads are
+            # informational only.
+            records = [execute_job(job, cache_dir, use_cache)
                        for job in jobs]
-            records = [future.result() for future in futures]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(execute_job, job, cache_dir,
+                                       use_cache)
+                           for job in jobs]
+                records = [future.result() for future in futures]
+        if workers > 1 and obs.enabled():
+            # Workers inherit the PSYNCPIM_OBS gate through fork/env;
+            # fold their recorded deltas into the parent so one export
+            # covers the whole fan-out (perf_counter_ns is machine-wide
+            # monotonic, so worker spans align with the parent timeline).
+            for record in records:
+                if record.metrics:
+                    obs.recorder().merge(record.metrics)
     wall = time.perf_counter() - start
     root = ArtifactCache(cache_dir, enabled=use_cache).root
     return SweepResult(records=records, wall_seconds=wall, workers=workers,

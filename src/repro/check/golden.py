@@ -1,0 +1,187 @@
+"""Golden-trace regression: exact snapshots of canonical workloads.
+
+Each workload builds a small, fully deterministic kernel schedule and
+records the complete command trace plus the scheduler's cycle counts and
+energy counters. The snapshots live under ``tests/golden/`` and are
+compared *exactly* in CI: any drift in trace synthesis, scheduling or
+energy pricing fails the build until the change is either fixed or
+consciously re-baselined with ``psyncpim check --update-golden``.
+
+JSON floats round-trip exactly through ``repr`` (Python writes the
+shortest representation that parses back to the same double), so exact
+equality on the loaded record is bitwise equality on the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig, default_system
+from ..core import (dense_stream_trace, price_trace, run_spmv, run_sptrsv,
+                    spmv_ab_trace, spmv_pb_trace, sptrsv_ab_trace)
+from ..core.timing import PerfReport
+from ..dram import TraceEntry, as_run
+from ..formats.generators import uniform_random, unit_lower_from
+
+#: Bump when the record layout itself changes (forces a re-baseline).
+RECORD_VERSION = 1
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` of the source checkout this module lives in."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+# ----------------------------------------------------------------------
+# canonical workloads
+# ----------------------------------------------------------------------
+def _spmv_parts(config: SystemConfig):
+    matrix = uniform_random(48, 48, 0.08, seed=11)
+    x = np.random.default_rng(12).random(48)
+    execution = run_spmv(matrix, x, config, engine_banks=4).execution
+    return matrix, execution
+
+
+def _spmv(mode: str) -> Tuple[List[TraceEntry], PerfReport]:
+    config = default_system()
+    matrix, execution = _spmv_parts(config)
+    trace = (spmv_ab_trace if mode == "ab"
+             else spmv_pb_trace)(execution, config)
+    report = price_trace(trace, config, with_energy=True,
+                         alu_operations=2 * matrix.nnz,
+                         precision=execution.precision)
+    return trace, report
+
+
+def _sptrsv() -> Tuple[List[TraceEntry], PerfReport]:
+    config = default_system()
+    tri = unit_lower_from(uniform_random(40, 40, 0.06, seed=7), seed=8)
+    b = np.random.default_rng(9).random(40)
+    execution = run_sptrsv(tri, b, config, engine_banks=4).execution
+    trace = sptrsv_ab_trace(execution, config)
+    report = price_trace(trace, config, with_energy=True,
+                         alu_operations=2 * execution.total_elements,
+                         precision=execution.precision)
+    return trace, report
+
+
+def _dense_stream() -> Tuple[List[TraceEntry], PerfReport]:
+    config = default_system()
+    trace = dense_stream_trace(elements_per_bank=256, reads_per_group=2,
+                               writes_per_group=1, precision="fp32")
+    report = price_trace(trace, config, with_energy=True,
+                         alu_operations=256 * 16, precision="fp32")
+    return trace, report
+
+
+WORKLOADS: Dict[str, Callable[[], Tuple[List[TraceEntry], PerfReport]]] = {
+    "spmv_ab": lambda: _spmv("ab"),
+    "spmv_pb": lambda: _spmv("pb"),
+    "sptrsv_ab": _sptrsv,
+    "dense_stream_ab": _dense_stream,
+}
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def _trace_rows(trace: List[TraceEntry]) -> List[list]:
+    rows = []
+    for entry in trace:
+        command, count = as_run(entry)
+        rows.append([command.kind.name, command.channel, command.bank,
+                     command.row, command.col, command.min_gap,
+                     command.tag, count])
+    return rows
+
+
+def build_record(name: str) -> dict:
+    """Regenerate the snapshot for one workload (exact, deterministic)."""
+    trace, report = WORKLOADS[name]()
+    energy = report.energy.as_dict() if report.energy else {}
+    return {
+        "version": RECORD_VERSION,
+        "workload": name,
+        "trace": _trace_rows(trace),
+        "schedule": {
+            "total_cycles": report.cycles,
+            "commands": report.commands,
+            "row_commands": report.row_commands,
+            "column_commands": report.column_commands,
+            "counts": {kind.name: n for kind, n in
+                       sorted(report.counts.items(),
+                              key=lambda kv: kv[0].name) if n},
+            "tag_cycles": dict(sorted(report.tag_cycles.items())),
+        },
+        "energy_pj": {k: v for k, v in sorted(energy.items())},
+    }
+
+
+def golden_path(directory: Path, name: str) -> Path:
+    return Path(directory) / f"{name}.json"
+
+
+def _diff_records(name: str, expected: dict, actual: dict) -> List[str]:
+    problems: List[str] = []
+    for key in ("version", "schedule", "energy_pj"):
+        if expected.get(key) != actual.get(key):
+            problems.append(
+                f"{name}: {key} drifted: expected {expected.get(key)!r}"
+                f" != actual {actual.get(key)!r}")
+    old, new = expected.get("trace", []), actual.get("trace", [])
+    if old != new:
+        if len(old) != len(new):
+            problems.append(f"{name}: trace length {len(old)} -> "
+                            f"{len(new)}")
+        for i, (a, b) in enumerate(zip(old, new)):
+            if a != b:
+                problems.append(
+                    f"{name}: trace[{i}] expected {a!r} != actual {b!r}")
+                break
+    return problems
+
+
+def compare_golden(directory: Optional[Path] = None,
+                   names: Optional[List[str]] = None) -> List[str]:
+    """Regenerate every workload and diff against its snapshot.
+
+    Returns a list of human-readable mismatch descriptions; empty means
+    every snapshot matches exactly.
+    """
+    directory = Path(directory) if directory else default_golden_dir()
+    problems: List[str] = []
+    for name in names or WORKLOADS:
+        path = golden_path(directory, name)
+        if not path.exists():
+            problems.append(
+                f"{name}: missing snapshot {path}; run "
+                f"`psyncpim check --update-golden` and commit the result")
+            continue
+        expected = json.loads(path.read_text())
+        actual = build_record(name)
+        problems.extend(_diff_records(name, expected, actual))
+    return problems
+
+
+def update_golden(directory: Optional[Path] = None,
+                  names: Optional[List[str]] = None) -> List[Path]:
+    """Rewrite the snapshots; returns the paths written."""
+    directory = Path(directory) if directory else default_golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names or WORKLOADS:
+        path = golden_path(directory, name)
+        record = build_record(name)
+        path.write_text(json.dumps(record, indent=1, sort_keys=True)
+                        + "\n")
+        written.append(path)
+    return written
+
+
+def golden_traces() -> Dict[str, List[TraceEntry]]:
+    """The live traces of every workload (for protocol checking)."""
+    return {name: builder()[0] for name, builder in WORKLOADS.items()}

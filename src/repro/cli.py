@@ -11,6 +11,9 @@ Four subcommands cover the common workflows without writing Python:
   content-addressed artifact caching (see :mod:`repro.sweep`).
 * ``profile`` — render an observability run (``PSYNCPIM_OBS=1``) as
   per-phase / per-bank / DRAM / energy tables (see :mod:`repro.obs`).
+* ``check``  — run the independent verification oracles: golden-trace
+  comparison, JEDEC protocol checking, and the seeded ISA fuzzer (see
+  :mod:`repro.check`); ``--update-golden`` re-baselines the snapshots.
 
 Matrices come from the Table IX registry (``--matrix``) or a Matrix Market
 file (``--mtx``). With ``PSYNCPIM_OBS=1`` in the environment every command
@@ -113,7 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a job batch in parallel with artifact caching")
     sweep.add_argument("--kernel", default="spmv",
-                       choices=["spmv", "sptrsv", "suite"])
+                       choices=["spmv", "sptrsv", "suite", "fuzz"])
     sweep.add_argument("--matrices", default=None,
                        help="comma-separated Table IX names (default: the "
                             "kernel's Table IX assignment)")
@@ -146,6 +149,25 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--banks", type=int, default=16,
                          help="per-bank table rows to show (default 16)")
     profile.set_defaults(handler=_cmd_profile)
+
+    check = sub.add_parser(
+        "check", help="run the independent verification oracles")
+    check.add_argument("--fuzz", type=int, default=0, metavar="N",
+                       help="also run N seeded fuzz programs through all "
+                            "three engines (0 = skip)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="first fuzz seed (default 0)")
+    check.add_argument("--golden-dir", default=None,
+                       help="golden snapshot directory (default: the "
+                            "checkout's tests/golden)")
+    check.add_argument("--update-golden", action="store_true",
+                       help="re-baseline the golden snapshots instead of "
+                            "comparing them")
+    check.add_argument("--skip-golden", action="store_true",
+                       help="skip the golden-trace comparison")
+    check.add_argument("--skip-protocol", action="store_true",
+                       help="skip the JEDEC protocol check")
+    check.set_defaults(handler=_cmd_check)
     return parser
 
 
@@ -292,6 +314,48 @@ def _cmd_profile(args) -> int:
         return 1
     print(obs.render_profile(metrics, max_banks=args.banks))
     return 0
+
+
+def _cmd_check(args) -> int:
+    from .check import (check_trace, compare_golden, fuzz_range,
+                        golden_traces, update_golden)
+    failed = False
+
+    if args.update_golden:
+        written = update_golden(args.golden_dir)
+        for path in written:
+            print(f"golden: wrote {path}")
+    elif not args.skip_golden:
+        problems = compare_golden(args.golden_dir)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"golden: FAIL {problem}")
+        else:
+            print("golden: ok (all snapshots match exactly)")
+
+    if not args.skip_protocol:
+        for name, trace in golden_traces().items():
+            violations = check_trace(trace)
+            if violations:
+                failed = True
+                for v in violations[:5]:
+                    print(f"protocol: FAIL {name}: {v}")
+            else:
+                print(f"protocol: ok {name} ({len(trace)} entries)")
+
+    if args.fuzz > 0:
+        failures = fuzz_range(args.seed, args.fuzz)
+        if failures:
+            failed = True
+            for seed, message in failures:
+                print(f"fuzz: FAIL seed {seed}: {message}")
+        else:
+            print(f"fuzz: ok ({args.fuzz} programs, seeds "
+                  f"{args.seed}..{args.seed + args.fuzz - 1})")
+
+    print("check: FAILED" if failed else "check: all oracles passed")
+    return 1 if failed else 0
 
 
 def _cmd_app(args) -> int:

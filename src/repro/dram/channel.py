@@ -39,9 +39,18 @@ class ChannelScheduler:
     """In-order command scheduler for one pseudo-channel."""
 
     def __init__(self, timing: TimingParams,
-                 enable_refresh: bool = True) -> None:
+                 enable_refresh: bool = True,
+                 validate_protocol: bool = False,
+                 channel: int = 0) -> None:
         self.timing = timing.validate()
         self.enable_refresh = enable_refresh
+        self._channel = channel
+        if validate_protocol:
+            # Deferred import: repro.check depends on repro.dram types.
+            from ..check.protocol import ProtocolChecker
+            self._checker = ProtocolChecker(timing, channel=channel)
+        else:
+            self._checker = None
         self.banks: List[BankState] = [BankState(timing)
                                        for _ in range(BANKS_PER_CHANNEL)]
         self._row_bus_free = 0
@@ -65,6 +74,11 @@ class ChannelScheduler:
     def now(self) -> int:
         """Cycle at which the most recent command issued."""
         return self._now
+
+    @property
+    def protocol_violations(self) -> list:
+        """Violations found by the opt-in independent protocol checker."""
+        return [] if self._checker is None else self._checker.violations
 
     def _group_of(self, bank: int) -> int:
         return bank // BANKS_PER_GROUP
@@ -92,6 +106,8 @@ class ChannelScheduler:
             raise TimingError(f"unhandled command kind {kind}")
         self.counts[kind] += 1
         self._now = cycle
+        if self._checker is not None:
+            self._checker.observe(cycle, command)
         return cycle
 
     def issue_run(self, command: Command, count: int) -> "tuple[int, int]":
@@ -137,6 +153,11 @@ class ChannelScheduler:
         self._col_bus_free = last + 1
         self.counts[kind] += count - 1
         self._now = last
+        if self._checker is not None:
+            # The checker sees the run's per-command expansion, which
+            # independently validates the closed-form spacing itself.
+            for i in range(1, count):
+                self._checker.observe(first + i * spacing, command)
         return first, last
 
     # ------------------------------------------------------------------
@@ -277,6 +298,12 @@ class ChannelScheduler:
             self.counts[CommandType.REF] += 1
             self._now = self._issue_refresh(max(self._next_refresh,
                                                 self._now))
+            if self._checker is not None:
+                # Deferred refreshes never appear in the input trace, so
+                # the checker observes them here, in issue order.
+                self._checker.observe(
+                    self._now, Command(CommandType.REF,
+                                       channel=self._channel))
             self._next_refresh += self.timing.trefi
 
     # ------------------------------------------------------------------

@@ -35,6 +35,9 @@ class ScheduleResult:
     #: Optional cycle annotations per tag (sum of inter-command gaps
     #: attributed to commands carrying that tag).
     tag_cycles: Dict[str, int] = field(default_factory=dict)
+    #: Protocol violations found by the opt-in independent checker
+    #: (``validate_protocol=True``); always empty otherwise.
+    violations: list = field(default_factory=list)
 
     def seconds(self, timing: TimingParams) -> float:
         """Schedule length in seconds."""
@@ -87,12 +90,14 @@ class MemoryController:
     def __init__(self, timing: TimingParams = TimingParams(),
                  num_channels: int = 16,
                  enable_refresh: bool = True,
-                 energy_params: Optional[EnergyParams] = None) -> None:
+                 energy_params: Optional[EnergyParams] = None,
+                 validate_protocol: bool = False) -> None:
         if num_channels <= 0:
             raise TimingError("need at least one channel")
         self.timing = timing
         self.num_channels = num_channels
         self.enable_refresh = enable_refresh
+        self.validate_protocol = validate_protocol
         self._energy_model = EnergyModel(energy_params or EnergyParams(),
                                          timing)
 
@@ -129,7 +134,10 @@ class MemoryController:
                     f"bank {command.bank} outside the channel")
             sched = channels.get(command.channel)
             if sched is None:
-                sched = ChannelScheduler(self.timing, self.enable_refresh)
+                sched = ChannelScheduler(
+                    self.timing, self.enable_refresh,
+                    validate_protocol=self.validate_protocol,
+                    channel=command.channel)
                 channels[command.channel] = sched
             if count == 1:
                 first = last = sched.issue(command)
@@ -150,10 +158,13 @@ class MemoryController:
         total_cycles = max(per_channel.values()) if per_channel else 0
         refreshes = sum(s.refreshes_performed for s in channels.values())
         counts[CommandType.REF] += refreshes
+        violations = [v for ch in sorted(channels)
+                      for v in channels[ch].protocol_violations]
         result = ScheduleResult(total_cycles=total_cycles,
                                 per_channel_cycles=per_channel,
                                 counts=counts, command_total=total,
-                                refreshes=refreshes, tag_cycles=tag_cycles)
+                                refreshes=refreshes, tag_cycles=tag_cycles,
+                                violations=violations)
         if with_energy:
             report = self._energy_model.command_energy(
                 counts, banks_per_channel=BANKS_PER_CHANNEL,

@@ -50,3 +50,8 @@ class MappingError(ReproError):
 
 class SolverError(ReproError):
     """An iterative solver failed to converge or received bad operands."""
+
+
+class CheckError(ReproError):
+    """A conformance check failed (protocol violation, oracle divergence,
+    golden-trace mismatch)."""

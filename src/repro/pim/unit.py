@@ -494,14 +494,18 @@ class ProcessingUnit:
             # one stream is merely between batches unless its region has
             # been fully consumed: stall (predicated NOP) until then, or
             # the merge would emit an index its refill still holds
-            empty_bit = 1 << (ins.src0.queue_index if qa.is_empty
+            a_empty = qa.is_empty
+            empty_bit = 1 << (ins.src0.queue_index if a_empty
                               else ins.src1.queue_index)
             if not self.exhausted_mask & empty_bit:
                 return
             if union_mode:
-                queue = qb if qa.is_empty else qa
+                # decide operand order before popping: the pop may drain
+                # qa, and re-reading is_empty afterwards would flip the
+                # operands on a stream's final element
+                queue = qb if a_empty else qa
                 row, col, value = queue.pop()
-                left, right = ((ident, value) if qa.is_empty
+                left, right = ((ident, value) if a_empty
                                else (value, ident))
                 out.push(row, col,
                          float(alu.apply(ins.binary, left, right)))

@@ -11,13 +11,15 @@ of recomputing it.
 
 Artifacts are pickled to ``<root>/<kind>/<digest>.pkl`` where *root*
 resolves, in order, to: an explicit path, the ``PSYNCPIM_CACHE_DIR``
-environment variable, or ``~/.cache/psyncpim``. Writes are atomic
-(temp file + rename) so concurrent sweep workers can share one cache
-directory; a corrupt or truncated entry is treated as a miss and
-overwritten. A disabled cache (``enabled=False``, the ``--no-cache``
-escape hatch) computes everything and never touches the filesystem —
-results are bitwise-identical either way, only the time to produce them
-changes.
+environment variable, or ``~/.cache/psyncpim``. Every file carries a
+magic tag plus the SHA-256 of its pickle payload, verified on load:
+a corrupt, truncated or bit-flipped entry fails the content check and
+is treated as a miss and overwritten, never silently unpickled. Writes
+are atomic (temp file + rename) so concurrent sweep workers can share
+one cache directory. A disabled cache (``enabled=False``, the
+``--no-cache`` escape hatch) computes everything and never touches the
+filesystem — results are bitwise-identical either way, only the time to
+produce them changes.
 """
 
 from __future__ import annotations
@@ -45,7 +47,13 @@ CACHE_DIR_ENV = "PSYNCPIM_CACHE_DIR"
 #: per-command traces lets cached sweeps use the closed-form pricing path.
 #: v3: SubMatrix/PartitionPlan pickle with cached per-tile statistics
 #: (touched_rows, tile_nnz/x_lengths arrays) from the vectorized planner.
-CACHE_VERSION = 3
+#: v4: files carry a magic + SHA-256 integrity header; pre-v4 headerless
+#: pickles would fail the check anyway, but the bump keeps them from
+#: accumulating as permanent misses under live keys.
+CACHE_VERSION = 4
+
+#: On-disk artifact header: magic, then the SHA-256 of the payload.
+_MAGIC = b"PSPC1\n"
 
 _MISS = object()
 
@@ -163,14 +171,29 @@ class ArtifactCache:
 
     # -- storage -------------------------------------------------------
     def load(self, kind: str, key: str) -> Any:
-        """Return the stored artifact or the module-private miss marker."""
+        """Return the stored artifact or the module-private miss marker.
+
+        The payload's SHA-256 must match the stored header: a truncated,
+        bit-flipped or pre-header file is a miss, never a silent
+        unpickle of corrupt bytes.
+        """
         if not self.enabled:
             return _MISS
         path = self.path(kind, key)
         try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            data = path.read_bytes()
+        except OSError:
+            return _MISS
+        header_len = len(_MAGIC) + hashlib.sha256().digest_size
+        if len(data) < header_len or not data.startswith(_MAGIC):
+            return _MISS
+        digest = data[len(_MAGIC):header_len]
+        payload = data[header_len:]
+        if hashlib.sha256(payload).digest() != digest:
+            return _MISS
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ValueError):
             return _MISS
 
@@ -180,10 +203,13 @@ class ArtifactCache:
             return
         path = self.path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_MAGIC)
+                fh.write(hashlib.sha256(payload).digest())
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:

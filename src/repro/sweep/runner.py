@@ -262,10 +262,41 @@ def _suite_pipeline(job: SweepJob, cache: ArtifactCache,
     return None, extras
 
 
+#: Seeds each ``fuzz`` sweep job covers (jobs stagger by this stride).
+FUZZ_SEEDS_PER_JOB = 25
+
+#: Jobs a default ``fuzz`` sweep fans out (8 x 25 = 200 seeds).
+FUZZ_DEFAULT_JOBS = 8
+
+
+def _fuzz_pipeline(job: SweepJob, cache: ArtifactCache,
+                   ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
+    """Differential ISA fuzzing as a sweep kernel.
+
+    Each job replays a contiguous seed block through the three engine
+    oracles (:func:`repro.check.fuzz_range`). A clean block caches as an
+    empty failure list, so repeated sweeps only pay for new seed ranges;
+    any divergence raises so the job record carries the reproducer.
+    """
+    from ..check import fuzz_range
+    from ..errors import CheckError
+    start, count = job.seed, FUZZ_SEEDS_PER_JOB
+    key = cache.key("fuzz-range", start, count, job.precision)
+    failures = cache.get_or_compute(
+        "fuzz", key, lambda: fuzz_range(start, count, shrink=True))
+    if failures:
+        raise CheckError(
+            f"{len(failures)} divergent seeds in {start}..{start + count - 1}: "
+            + " | ".join(f"seed {s}: {m}" for s, m in failures[:2]))
+    extras = {"first_seed": start, "seed_count": count, "divergences": 0}
+    return None, extras
+
+
 _PIPELINES = {
     "spmv": _spmv_pipeline,
     "sptrsv": _sptrsv_pipeline,
     "suite": _suite_pipeline,
+    "fuzz": _fuzz_pipeline,
 }
 
 
@@ -376,6 +407,13 @@ def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
     unless ``lower`` is pinned via *overrides*.
     """
     from ..formats import matrices_for
+    if kernel == "fuzz":
+        # No matrices: fan out staggered seed blocks instead.
+        first = int(overrides.pop("seed", 0))
+        return [SweepJob(kernel="fuzz", matrix="isa-programs",
+                         label=f"fuzz:seeds-{first + i * FUZZ_SEEDS_PER_JOB}",
+                         seed=first + i * FUZZ_SEEDS_PER_JOB, **overrides)
+                for i in range(FUZZ_DEFAULT_JOBS)]
     if matrices is None:
         if kernel == "suite":
             matrices = suite_names()
@@ -400,4 +438,5 @@ def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
 
 __all__ = ["SweepJob", "execute_job", "run_sweep", "suite_jobs",
            "resolve_bench_scale", "resolve_workers", "default_cache_dir",
-           "DEFAULT_SCALE", "SCALE_ENV", "LEGACY_SCALE_ENV", "WORKERS_ENV"]
+           "DEFAULT_SCALE", "FUZZ_SEEDS_PER_JOB", "FUZZ_DEFAULT_JOBS",
+           "SCALE_ENV", "LEGACY_SCALE_ENV", "WORKERS_ENV"]

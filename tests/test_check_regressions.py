@@ -1,0 +1,61 @@
+"""Fuzz-derived regression corpus.
+
+Every entry in :data:`REGRESSION_SEEDS` is a seed that once exposed a
+real divergence between the engines. The harness replays them on every
+run; new fuzzer finds should be appended here (with a note on what they
+caught) after the underlying bug is fixed.
+
+Corpus history:
+
+* 62, 63, 69 — scalar engine flipped SpVSpV union operands on a
+  stream's final element: ``qa.is_empty`` was re-read *after* the pop,
+  so the pass-through of qa's last element computed ``op(ident, value)``
+  instead of ``op(value, ident)``. Invisible to commutative ops; caught
+  by FIRST in union mode. Fixed in ``repro.pim.unit._spvspv`` (and the
+  matching transcription in ``repro.check.reference``).
+"""
+
+import pytest
+
+from repro.check.fuzz import generate_case, run_case
+from repro.isa import (BInstruction, BinaryOp, Identity, Opcode, Operand,
+                       Program, SetMode)
+from repro.pim.memory import BankMemory
+from repro.pim.unit import ProcessingUnit
+
+#: Seeds that historically diverged. Append new finds, never remove.
+REGRESSION_SEEDS = [62, 63, 69]
+
+
+@pytest.mark.parametrize("seed", REGRESSION_SEEDS)
+def test_regression_seed(seed):
+    run_case(generate_case(seed))
+
+
+class TestSpVSpVUnionOperandOrder:
+    """Direct replay of the bug behind seeds 62/63/69."""
+
+    def _unit_with_last_element(self):
+        unit = ProcessingUnit(BankMemory())
+        ins = BInstruction(Opcode.SPVSPV, dst=Operand.SPVQ2,
+                           src0=Operand.SPVQ0, src1=Operand.SPVQ1,
+                           binary=BinaryOp.FIRST, set_mode=SetMode.UNION,
+                           idnt=Identity.ONE)
+        unit.program = Program([ins])
+        unit.exhausted_mask = 0b11
+        return unit, ins
+
+    def test_last_element_keeps_left_operand_position(self):
+        unit, ins = self._unit_with_last_element()
+        unit.registers.queues[0].push(5, 1, 2.0)   # qa's final element
+        unit._spvspv(ins, None)
+        # FIRST(value, ident) == value: the element passes through
+        assert list(unit.registers.queues[2]._items) == [(5, 1, 2.0)]
+
+    def test_b_side_pass_through_takes_identity(self):
+        unit, ins = self._unit_with_last_element()
+        unit.registers.queues[1].push(4, 2, 3.0)   # qb's final element
+        unit._spvspv(ins, None)
+        # FIRST(ident, value) == ident: the b-side pass-through under
+        # FIRST yields the identity, by construction
+        assert list(unit.registers.queues[2]._items) == [(4, 2, 1.0)]

@@ -100,3 +100,51 @@ class TestAppCommand:
         code, out, _ = run_cli(capsys, "app", "pcg", "--mtx", str(path))
         assert code == 0
         assert "sptrsv" in out
+
+
+class TestCheckCommand:
+    def test_default_runs_golden_and_protocol(self, capsys):
+        code, out, _ = run_cli(capsys, "check")
+        assert code == 0
+        assert "golden: ok" in out
+        assert "protocol: ok spmv_ab" in out
+        assert "check: all oracles passed" in out
+
+    def test_fuzz_range(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "--skip-golden",
+                               "--skip-protocol", "--fuzz", "5",
+                               "--seed", "100")
+        assert code == 0
+        assert "fuzz: ok (5 programs, seeds 100..104)" in out
+
+    def test_update_golden_to_directory(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "check", "--update-golden",
+                               "--skip-protocol", "--golden-dir",
+                               str(tmp_path))
+        assert code == 0
+        assert "golden: wrote" in out
+        code, out, _ = run_cli(capsys, "check", "--skip-protocol",
+                               "--golden-dir", str(tmp_path))
+        assert code == 0
+        assert "golden: ok" in out
+
+    def test_missing_golden_fails_with_advice(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "check", "--skip-protocol",
+                               "--golden-dir", str(tmp_path / "empty"))
+        assert code == 1
+        assert "golden: FAIL" in out
+        assert "--update-golden" in out
+        assert "check: FAILED" in out
+
+    def test_tampered_golden_fails(self, capsys, tmp_path):
+        import json
+        run_cli(capsys, "check", "--update-golden", "--skip-protocol",
+                "--golden-dir", str(tmp_path))
+        path = tmp_path / "spmv_ab.json"
+        record = json.loads(path.read_text())
+        record["schedule"]["total_cycles"] += 1
+        path.write_text(json.dumps(record))
+        code, out, _ = run_cli(capsys, "check", "--skip-protocol",
+                               "--golden-dir", str(tmp_path))
+        assert code == 1
+        assert "golden: FAIL spmv_ab" in out

@@ -1,0 +1,139 @@
+"""Direct bit-slicing tests for repro.dram.address.
+
+The Table VII ``rorabgbachco`` interleave is easy to get subtly wrong:
+an off-by-one in a field width silently aliases banks or rows. These
+tests pin the exact bit positions of every field, exhaustively
+round-trip the sub-row fields, and cover the degenerate widths (rank is
+0 bits; 1-item fields consume no address bits).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import HBM2Config
+from repro.dram import AddressMapper
+from repro.errors import AddressError
+
+CFG = HBM2Config()
+
+
+@pytest.fixture()
+def mapper():
+    return AddressMapper(CFG)
+
+
+class TestBitLayout:
+    """Pin each field to its exact bit position (Table VII order)."""
+
+    # low to high: 4 offset bits (16 B columns), 6 column, 4 channel,
+    # 2 bank, 2 bankgroup, 0 rank, 14 row
+    OFFSET_BITS = 4
+    COLUMN_SHIFT = 4
+    CHANNEL_SHIFT = 10
+    BANK_SHIFT = 14
+    BANKGROUP_SHIFT = 16
+    ROW_SHIFT = 18
+
+    def test_offset_occupies_low_bits(self, mapper):
+        base = mapper.encode(0, 0, 0, 0, 0)
+        assert mapper.encode(0, 0, 0, 0, 0, offset=15) == base + 15
+
+    @pytest.mark.parametrize("field,shift", [
+        ("column", COLUMN_SHIFT),
+        ("channel", CHANNEL_SHIFT),
+        ("bank", BANK_SHIFT),
+        ("bankgroup", BANKGROUP_SHIFT),
+        ("row", ROW_SHIFT),
+    ])
+    def test_field_lsb_position(self, mapper, field, shift):
+        kwargs = dict(channel=0, bankgroup=0, bank=0, row=0, column=0)
+        kwargs[field] = 1
+        assert mapper.encode(**kwargs) == 1 << shift
+
+    def test_field_msb_positions(self, mapper):
+        top = mapper.encode(channel=CFG.num_pseudo_channels - 1,
+                            bankgroup=CFG.num_bankgroups - 1,
+                            bank=CFG.banks_per_group - 1,
+                            row=CFG.num_rows - 1,
+                            column=CFG.num_columns - 1,
+                            offset=CFG.column_bytes - 1)
+        assert top == mapper.addressable_bytes - 1
+
+    def test_adjacent_columns_are_contiguous_bytes(self, mapper):
+        a = mapper.encode(3, 1, 2, 100, 7)
+        b = mapper.encode(3, 1, 2, 100, 8)
+        assert b - a == CFG.column_bytes
+
+    def test_row_stride_spans_all_sub_row_fields(self, mapper):
+        a = mapper.encode(0, 0, 0, 5, 0)
+        b = mapper.encode(0, 0, 0, 6, 0)
+        assert b - a == (CFG.row_bytes * CFG.num_pseudo_channels
+                         * CFG.banks_per_channel)
+
+
+class TestRoundTrip:
+    def test_exhaustive_sub_row_round_trip(self, mapper):
+        """Every (channel, bankgroup, bank, column) is distinct and
+        decodes back exactly — no aliasing anywhere below the row."""
+        seen = set()
+        for ch in range(CFG.num_pseudo_channels):
+            for bg in range(CFG.num_bankgroups):
+                for ba in range(CFG.banks_per_group):
+                    for co in range(CFG.num_columns):
+                        addr = mapper.encode(ch, bg, ba, 77, co)
+                        assert addr not in seen
+                        seen.add(addr)
+                        d = mapper.decode(addr)
+                        assert (d.channel, d.bankgroup, d.bank,
+                                d.row, d.column) == (ch, bg, ba, 77, co)
+        assert len(seen) == (CFG.num_pseudo_channels * CFG.banks_per_channel
+                             * CFG.num_columns)
+
+    def test_row_boundaries_round_trip(self, mapper):
+        for row in (0, 1, CFG.num_rows // 2, CFG.num_rows - 1):
+            d = mapper.decode(mapper.encode(9, 2, 3, row, 31))
+            assert d.row == row and d.flat_bank == 2 * 4 + 3
+
+    def test_offset_not_part_of_decode(self, mapper):
+        base = mapper.decode(mapper.encode(1, 2, 3, 4, 5))
+        assert mapper.decode(mapper.encode(1, 2, 3, 4, 5, offset=9)) == base
+
+
+class TestEdges:
+    def test_rank_field_is_zero_bits(self, mapper):
+        # capacity covers exactly the non-rank fields: 0 rank bits
+        assert mapper.addressable_bytes == CFG.capacity_bytes
+
+    def test_single_item_fields_consume_no_bits(self):
+        tiny = dataclasses.replace(CFG, num_pseudo_channels=1,
+                                   num_bankgroups=1)
+        mapper = AddressMapper(tiny)
+        assert mapper.addressable_bytes == (
+            tiny.banks_per_group * tiny.num_rows * tiny.row_bytes)
+        d = mapper.decode(mapper.encode(0, 0, 3, 12, 60))
+        assert (d.bank, d.row, d.column) == (3, 12, 60)
+
+    def test_alternative_mapping_permutes_bits(self):
+        swapped = AddressMapper(dataclasses.replace(
+            CFG, address_mapping="rorabgbacoch"))
+        default = AddressMapper(CFG)
+        # same coordinates, different bit layout, both self-consistent
+        addr_a = swapped.encode(5, 1, 2, 9, 33)
+        addr_b = default.encode(5, 1, 2, 9, 33)
+        assert addr_a != addr_b
+        d = swapped.decode(addr_a)
+        assert (d.channel, d.bankgroup, d.bank, d.row, d.column) \
+            == (5, 1, 2, 9, 33)
+
+    def test_out_of_range_rejected(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.encode(CFG.num_pseudo_channels, 0, 0, 0, 0)
+        with pytest.raises(AddressError):
+            mapper.encode(0, 0, 0, CFG.num_rows, 0)
+        with pytest.raises(AddressError):
+            mapper.encode(0, 0, 0, 0, 0, offset=CFG.column_bytes)
+        with pytest.raises(AddressError):
+            mapper.decode(-1)
+        with pytest.raises(AddressError):
+            mapper.decode(mapper.addressable_bytes)

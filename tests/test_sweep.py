@@ -93,6 +93,15 @@ class TestArtifactCache:
         # and the entry healed: a third cache now hits
         assert ArtifactCache(tmp_path).load("plan", key) == 7
 
+    def test_fuzz_results_ride_the_cache(self, tmp_path):
+        job = SweepJob(kernel="fuzz", matrix="isa-programs", seed=0)
+        first = execute_job(job, cache_dir=tmp_path)
+        assert first.error == ""
+        assert first.extras["seed_count"] > 0
+        again = execute_job(job, cache_dir=tmp_path)
+        assert again.cache_hits == 1 and again.cache_misses == 0
+        assert again.extras == first.extras
+
     def test_env_var_resolves_default_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
         assert default_cache_dir() == tmp_path / "custom"
@@ -105,6 +114,63 @@ class TestArtifactCache:
         assert cache.clear() == 2
         assert not cache.path("plan", cache.key("a")).exists()
         assert not cache.path("trace", cache.key("b")).exists()
+
+
+# ----------------------------------------------------------------------
+# cache integrity (content-hash verification on load)
+# ----------------------------------------------------------------------
+class TestCacheIntegrity:
+    """A cached artifact must load byte-identical or not at all."""
+
+    def _stored(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        value = {"trace": np.arange(64, dtype=np.float64),
+                 "cycles": 12345}
+        key = cache.key("integrity")
+        cache.store("trace", key, value)
+        return cache, key, value, cache.path("trace", key)
+
+    def test_random_bit_flips_always_detected(self, tmp_path):
+        """Property: any single bit flip anywhere in the file is a miss
+        that recomputation heals — never a silently corrupt artifact."""
+        cache, key, value, path = self._stored(tmp_path)
+        pristine = path.read_bytes()
+        rng = np.random.default_rng(2024)
+        for _ in range(40):
+            offset = int(rng.integers(len(pristine)))
+            bit = 1 << int(rng.integers(8))
+            tampered = bytearray(pristine)
+            tampered[offset] ^= bit
+            path.write_bytes(bytes(tampered))
+            fresh = ArtifactCache(tmp_path)
+            loaded = fresh.get_or_compute("trace", key, lambda: value)
+            assert fresh.miss_count == 1, \
+                f"bit flip at byte {offset} went undetected"
+            assert np.array_equal(loaded["trace"], value["trace"])
+        # the last recompute healed the file
+        assert ArtifactCache(tmp_path).load("trace", key)["cycles"] == 12345
+
+    def test_truncation_detected(self, tmp_path):
+        cache, key, value, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        for cut in (0, 4, len(data) // 2, len(data) - 1):
+            path.write_bytes(data[:cut])
+            fresh = ArtifactCache(tmp_path)
+            assert fresh.get_or_compute("trace", key, lambda: "fresh") \
+                == "fresh", f"truncation to {cut} bytes went undetected"
+
+    def test_headerless_legacy_file_is_a_miss(self, tmp_path):
+        cache, key, value, path = self._stored(tmp_path)
+        # a pre-v4 file: bare pickle, no magic/hash header
+        path.write_bytes(pickle.dumps(value))
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get_or_compute("trace", key, lambda: 99) == 99
+        assert fresh.miss_count == 1
+
+    def test_intact_roundtrip_preserves_arrays_bitwise(self, tmp_path):
+        cache, key, value, path = self._stored(tmp_path)
+        loaded = ArtifactCache(tmp_path).load("trace", key)
+        assert loaded["trace"].tobytes() == value["trace"].tobytes()
 
 
 # ----------------------------------------------------------------------

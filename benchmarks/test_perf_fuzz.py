@@ -1,0 +1,107 @@
+"""Fuzzing throughput microbenchmark: batched vs per-job execution.
+
+Times the fuzz corpus two ways — one :class:`repro.pim.BatchEngine`
+launch per template block (jobs x banks arrays, every job advanced per
+broadcast beat) against the per-job lane-engine loop — asserts each
+job's final architectural state stays bitwise identical, and writes the
+measurements to ``benchmarks/results/BENCH_fuzz.json`` for the CI
+perf-smoke trend gate.
+
+Two numbers matter:
+
+* ``speedups.execution`` — pure engine throughput (drive + snapshot)
+  aggregated across several program templates. This is what batching
+  accelerates and what the gate pins; single templates vary widely
+  (merge-heavy programs batch worse than dense ones), so the aggregate
+  is the stable metric.
+* ``speedups.end_to_end`` — the full :func:`repro.check.fuzz_batch`
+  pipeline including the per-block leader oracle run and per-job
+  verification. Recorded for context, not gated: verification
+  deliberately re-runs every job solo, which bounds the end-to-end win.
+
+Fuzz programs are fixed-size (seeded ISA templates, not matrices), so
+``PSYNCPIM_SCALE`` only sizes the corpus, not the speedup itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import BENCH_SCALE, RESULTS_DIR
+from repro.check.fuzz import (build_case, fuzz_batch, generate_case,
+                              run_batch_group, run_single, vary_case,
+                              _first_diff)
+
+#: Template leaders: a mix of dense/reduce-heavy and queue/merge-heavy
+#: programs so the aggregate reflects the corpus, not one lucky kernel.
+TEMPLATE_SEEDS = (11, 29, 62, 101)
+
+#: Jobs per template block (leader + data variants).
+BLOCK_JOBS = 32
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fuzz_batch_microbenchmark():
+    bench = {"scale": BENCH_SCALE, "times": {}, "speedups": {}}
+    total_perjob = total_batch = 0.0
+
+    for seed in TEMPLATE_SEEDS:
+        leader = generate_case(seed)
+        cases = [leader] + [vary_case(leader, 50_000 + seed * 100 + i)
+                            for i in range(BLOCK_JOBS - 1)]
+        builts = [build_case(case) for case in cases]
+
+        t_perjob, solo_snaps = _best_of(
+            lambda: [run_single(case, built=built)[0]
+                     for case, built in zip(cases, builts)])
+        t_batch, (batch_snaps, _) = _best_of(
+            lambda: run_batch_group(cases, builts=builts))
+
+        for job, (solo, snap) in enumerate(zip(solo_snaps, batch_snaps)):
+            diff = _first_diff(solo, snap, f"seed{seed}/job{job}")
+            assert diff is None, \
+                f"batched execution diverged from per-job runs: {diff}"
+
+        bench["times"][f"template{seed}_perjob_s"] = t_perjob
+        bench["times"][f"template{seed}_batch_s"] = t_batch
+        bench["speedups"][f"template{seed}"] = t_perjob / t_batch
+        total_perjob += t_perjob
+        total_batch += t_batch
+
+    bench["times"]["execution_perjob_s"] = total_perjob
+    bench["times"]["execution_batch_s"] = total_batch
+    bench["speedups"]["execution"] = total_perjob / total_batch
+    jobs = len(TEMPLATE_SEEDS) * BLOCK_JOBS
+    bench["jobs"] = jobs
+    bench["jobs_per_second_batched"] = jobs / total_batch
+
+    # --- end-to-end pipeline, verification included (informational) ---
+    seeds = range(0, max(50, int(2000 * BENCH_SCALE)))
+    t_off, verdict_off = _best_of(
+        lambda: fuzz_batch(seeds, batch="off"), repeats=1)
+    t_jobs, verdict_jobs = _best_of(
+        lambda: fuzz_batch(seeds, batch="jobs"), repeats=1)
+    assert verdict_off == verdict_jobs == []
+    bench["times"]["end_to_end_off_s"] = t_off
+    bench["times"]["end_to_end_jobs_s"] = t_jobs
+    bench["speedups"]["end_to_end"] = t_off / t_jobs
+    bench["seeds_per_second_end_to_end"] = len(seeds) / t_jobs
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_fuzz.json"
+    out.write_text(json.dumps(bench, indent=2) + "\n", encoding="utf-8")
+
+    # Batched execution must never lose to the per-job loop; at default
+    # scale and above the aggregate must clear the 5x target.
+    assert bench["speedups"]["execution"] > 1.0, bench
+    if BENCH_SCALE >= 0.05:
+        assert bench["speedups"]["execution"] >= 5.0, bench

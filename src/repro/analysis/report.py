@@ -129,6 +129,9 @@ class SweepResult:
     workers: int = 1
     cache_enabled: bool = True
     cache_dir: str = ""
+    #: Batch mode the sweep ran under (``"off"`` or ``"jobs"``; see
+    #: :func:`repro.config.resolve_batch`).
+    batch: str = "off"
 
     def __len__(self) -> int:
         return len(self.records)
@@ -222,6 +225,13 @@ class SweepResult:
         return self.busy_seconds / self.wall_seconds
 
     @property
+    def jobs_per_second(self) -> float:
+        """Sweep throughput against wall-clock (batch-mode headline)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.records) / self.wall_seconds
+
+    @property
     def worker_utilisation(self) -> float:
         """Fraction of the worker pool kept busy over the sweep."""
         if self.workers <= 0 or self.wall_seconds <= 0:
@@ -252,7 +262,8 @@ class SweepResult:
                  else "disabled (--no-cache)")
         footer = (
             f"jobs: {len(self.records)}  wall: {self.wall_seconds:.2f} s  "
-            f"workers: {self.workers}  "
+            f"({self.jobs_per_second:.1f} jobs/s)  "
+            f"workers: {self.workers}  batch: {self.batch}  "
             f"utilisation: {100.0 * self.worker_utilisation:.0f}%  "
             f"parallel speedup: {self.parallel_speedup:.2f}x\n"
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "

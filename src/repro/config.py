@@ -76,6 +76,35 @@ def resolve_planner(explicit: Optional[str] = None) -> str:
     return name
 
 
+#: Environment variable selecting cross-job batched execution.
+BATCH_ENV = "PSYNCPIM_BATCH"
+
+#: Batch modes for sweeps and fuzzing: ``jobs`` stacks same-template jobs
+#: into one jobs x banks engine launch; ``off`` runs jobs one at a time.
+BATCH_CHOICES = ("jobs", "off")
+
+#: Batch mode used when neither the caller nor the environment chooses one.
+#: Off by default: batching is an opt-in throughput tier, and the per-job
+#: path remains the semantics-defining baseline it is compared against.
+DEFAULT_BATCH = "off"
+
+
+def resolve_batch(explicit: Optional[str] = None) -> str:
+    """Resolve the cross-job batch mode: explicit arg > env var > default.
+
+    Mirrors :func:`resolve_engine` for the jobs dimension (sweep runner,
+    ISA fuzzer). Unknown names raise :class:`ConfigError` so typos fail
+    loudly instead of silently running the other execution path.
+    """
+    name = explicit if explicit is not None \
+        else os.environ.get(BATCH_ENV, DEFAULT_BATCH)
+    name = name.strip().lower()
+    if name not in BATCH_CHOICES:
+        raise ConfigError(f"unknown batch mode {name!r}; expected one of "
+                          f"{list(BATCH_CHOICES)}")
+    return name
+
+
 #: Precision name -> element size in bytes, for every precision the VALU
 #: supports (Table VIII: INT8 through FP64).
 PRECISION_BYTES: Dict[str, int] = {

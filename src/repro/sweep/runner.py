@@ -22,13 +22,15 @@ import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import (Any, Dict, Iterable, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
 from ..analysis.report import JobRecord, SweepResult
 from .. import obs
-from ..config import SystemConfig, default_system, gddr6_aim_system
+from ..config import (SystemConfig, default_system, gddr6_aim_system,
+                      resolve_batch)
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
 from ..core.timing import PerfReport, price_trace
@@ -150,6 +152,7 @@ class SweepJob:
 # kernel pipelines (run inside the worker, through the artifact cache)
 # ----------------------------------------------------------------------
 def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
+                   batch: str = "off",
                    ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
     matrix = job.load_matrix()
     config = job.system()
@@ -196,6 +199,7 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
 
 
 def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
+                     batch: str = "off",
                      ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
     matrix = job.load_matrix()
     config = job.system()
@@ -244,6 +248,7 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
 
 
 def _suite_pipeline(job: SweepJob, cache: ArtifactCache,
+                    batch: str = "off",
                     ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
     key = cache.key("suite-matrix", job.matrix, job.scale)
     matrix = cache.get_or_compute("matrix", key, job.load_matrix)
@@ -270,20 +275,30 @@ FUZZ_DEFAULT_JOBS = 8
 
 
 def _fuzz_pipeline(job: SweepJob, cache: ArtifactCache,
+                   batch: str = "off",
                    ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
     """Differential ISA fuzzing as a sweep kernel.
 
-    Each job replays a contiguous seed block through the three engine
-    oracles (:func:`repro.check.fuzz_range`). A clean block caches as an
-    empty failure list, so repeated sweeps only pay for new seed ranges;
-    any divergence raises so the job record carries the reproducer.
+    Each job replays a contiguous seed block through the engine oracles
+    (:func:`repro.check.fuzz_batch`; in the default ``"off"`` batch mode
+    this is verdict-identical to :func:`repro.check.fuzz_range`). With
+    ``batch="jobs"`` the whole block executes as one
+    :class:`~repro.pim.BatchEngine` launch — the block leader still runs
+    the full three-oracle check and every seed's state is compared
+    bitwise against a solo lane run. A clean block caches as an empty
+    failure list under the same key in either mode, so repeated sweeps
+    only pay for new seed ranges; any divergence raises so the job
+    record carries the reproducer.
     """
-    from ..check import fuzz_range
+    from ..check import fuzz_batch
     from ..errors import CheckError
     start, count = job.seed, FUZZ_SEEDS_PER_JOB
     key = cache.key("fuzz-range", start, count, job.precision)
     failures = cache.get_or_compute(
-        "fuzz", key, lambda: fuzz_range(start, count, shrink=True))
+        "fuzz", key,
+        lambda: fuzz_batch(range(start, start + count), shrink=True,
+                           batch=batch,
+                           group_size=count if batch == "jobs" else 1))
     if failures:
         raise CheckError(
             f"{len(failures)} divergent seeds in {start}..{start + count - 1}: "
@@ -305,14 +320,18 @@ _PIPELINES = {
 # ----------------------------------------------------------------------
 def execute_job(job: SweepJob,
                 cache_dir: Optional[Union[str, os.PathLike]] = None,
-                use_cache: bool = True) -> JobRecord:
+                use_cache: bool = True,
+                batch: Optional[str] = None) -> JobRecord:
     """Run one job through its cached pipeline (worker entry point).
 
     Pipeline exceptions are *captured*, not propagated: the returned
     record carries the exception summary and full traceback so one bad
     job cannot take down a whole sweep (use
     :meth:`SweepResult.raise_failures` for fail-fast behaviour). An
-    unknown kernel is a caller error and still raises.
+    unknown kernel is a caller error and still raises. *batch* follows
+    :func:`repro.config.resolve_batch`; kernels that tensorize over the
+    jobs dimension (currently ``fuzz``) honour it, the rest run
+    identically in either mode.
     """
     try:
         pipeline = _PIPELINES[job.kernel]
@@ -320,6 +339,7 @@ def execute_job(job: SweepJob,
         raise ExecutionError(
             f"unknown sweep kernel {job.kernel!r}; "
             f"expected one of {sorted(_PIPELINES)}") from None
+    batch = resolve_batch(batch)
     cache = ArtifactCache(cache_dir, enabled=use_cache)
     label = job.resolved_label()
     mark = obs.recorder().mark() if obs.enabled() else None
@@ -330,7 +350,7 @@ def execute_job(job: SweepJob,
     with obs.span("sweep.job", cat="sweep", label=label,
                   kernel=job.kernel, matrix=job.matrix):
         try:
-            report, extras = pipeline(job, cache)
+            report, extras = pipeline(job, cache, batch)
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
             tb_text = traceback_module.format_exc()
@@ -352,9 +372,51 @@ def execute_job(job: SweepJob,
                      error=error, traceback=tb_text, metrics=metrics)
 
 
+def _batch_key(job: SweepJob) -> tuple:
+    """Group identity for batch mode: same kernel, same configuration.
+
+    Matrix, triangular factor and seed are the per-job payload and stay
+    free within a group; everything that selects a pipeline or a system
+    configuration must match for jobs to share a tensorized round.
+    """
+    return (job.kernel, job.scale, job.precision, job.num_cubes,
+            job.platform, job.mode, job.compress, job.policy,
+            job.matrix_format, job.with_energy)
+
+
+def _batch_groups(jobs: Sequence[SweepJob]) -> "list[list[int]]":
+    """Partition job indices into same-config groups, order-stable."""
+    groups: Dict[tuple, list] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(_batch_key(job), []).append(index)
+    return list(groups.values())
+
+
+def execute_batch(jobs: Sequence[SweepJob],
+                  cache_dir: Optional[Union[str, os.PathLike]] = None,
+                  use_cache: bool = True,
+                  batch: str = "jobs") -> "list[JobRecord]":
+    """Run one same-config job group in a single worker call.
+
+    Each job still flows through :func:`execute_job`, so its
+    :class:`JobRecord`, obs counters and cache entries are identical to
+    per-job mode — batching changes *where* the work runs (one worker
+    round per group, with jobs-dimension tensorization inside the fuzz
+    pipeline), never what it produces.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    with obs.span("sweep.batch", cat="sweep", jobs=len(jobs),
+                  kernel=jobs[0].kernel):
+        return [execute_job(job, cache_dir, use_cache, batch)
+                for job in jobs]
+
+
 def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
               cache_dir: Optional[Union[str, os.PathLike]] = None,
-              use_cache: bool = True) -> SweepResult:
+              use_cache: bool = True,
+              batch: Optional[str] = None) -> SweepResult:
     """Execute *jobs* across worker processes and aggregate the outcomes.
 
     ``workers=None`` resolves via :func:`resolve_workers`
@@ -362,26 +424,57 @@ def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
     in-process, which is also the fallback for single-job sweeps. Job order
     is preserved in the result. ``use_cache=False`` is the ``--no-cache``
     escape hatch: everything recomputes, nothing touches disk.
+
+    ``batch`` resolves via :func:`repro.config.resolve_batch`
+    (``PSYNCPIM_BATCH``; default ``"off"``). In ``"jobs"`` mode the job
+    list is partitioned into same-kernel, same-config groups
+    (:func:`execute_batch`) — one worker round per group — and
+    jobs-dimension kernels (fuzz) execute each group's seed block as one
+    :class:`~repro.pim.BatchEngine` launch. Records, their order, obs
+    counters and cache entries match per-job mode exactly.
     """
     jobs = list(jobs)
+    mode = resolve_batch(batch)
     workers = resolve_workers(default=workers) if workers is None \
         else max(int(workers), 1)
-    workers = min(workers, max(len(jobs), 1))
+    groups = _batch_groups(jobs) if mode == "jobs" else []
+    units = len(groups) if mode == "jobs" else len(jobs)
+    workers = min(workers, max(units, 1))
     start = time.perf_counter()
     with obs.span("sweep.run", cat="sweep", jobs=len(jobs),
-                  workers=workers):
+                  workers=workers, batch=mode):
         if workers <= 1:
             # Serial jobs record straight into this process's obs
             # recorder; their JobRecord.metrics payloads are
             # informational only.
-            records = [execute_job(job, cache_dir, use_cache)
-                       for job in jobs]
+            if mode == "jobs":
+                slots: Dict[int, JobRecord] = {}
+                for group in groups:
+                    members = [jobs[i] for i in group]
+                    for i, record in zip(group, execute_batch(
+                            members, cache_dir, use_cache, mode)):
+                        slots[i] = record
+                records = [slots[i] for i in range(len(jobs))]
+            else:
+                records = [execute_job(job, cache_dir, use_cache, mode)
+                           for job in jobs]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(execute_job, job, cache_dir,
-                                       use_cache)
-                           for job in jobs]
-                records = [future.result() for future in futures]
+                if mode == "jobs":
+                    futures = [pool.submit(execute_batch,
+                                           [jobs[i] for i in group],
+                                           cache_dir, use_cache, mode)
+                               for group in groups]
+                    slots = {}
+                    for group, future in zip(groups, futures):
+                        for i, record in zip(group, future.result()):
+                            slots[i] = record
+                    records = [slots[i] for i in range(len(jobs))]
+                else:
+                    futures = [pool.submit(execute_job, job, cache_dir,
+                                           use_cache, mode)
+                               for job in jobs]
+                    records = [future.result() for future in futures]
         if workers > 1 and obs.enabled():
             # Workers inherit the PSYNCPIM_OBS gate through fork/env;
             # fold their recorded deltas into the parent so one export
@@ -393,7 +486,8 @@ def run_sweep(jobs: Iterable[SweepJob], workers: Optional[int] = None,
     wall = time.perf_counter() - start
     root = ArtifactCache(cache_dir, enabled=use_cache).root
     return SweepResult(records=records, wall_seconds=wall, workers=workers,
-                       cache_enabled=use_cache, cache_dir=str(root))
+                       cache_enabled=use_cache, cache_dir=str(root),
+                       batch=mode)
 
 
 def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
@@ -436,7 +530,8 @@ def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
     return jobs
 
 
-__all__ = ["SweepJob", "execute_job", "run_sweep", "suite_jobs",
-           "resolve_bench_scale", "resolve_workers", "default_cache_dir",
-           "DEFAULT_SCALE", "FUZZ_SEEDS_PER_JOB", "FUZZ_DEFAULT_JOBS",
-           "SCALE_ENV", "LEGACY_SCALE_ENV", "WORKERS_ENV"]
+__all__ = ["SweepJob", "execute_job", "execute_batch", "run_sweep",
+           "suite_jobs", "resolve_bench_scale", "resolve_workers",
+           "default_cache_dir", "DEFAULT_SCALE", "FUZZ_SEEDS_PER_JOB",
+           "FUZZ_DEFAULT_JOBS", "SCALE_ENV", "LEGACY_SCALE_ENV",
+           "WORKERS_ENV"]

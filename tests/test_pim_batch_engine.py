@@ -1,0 +1,257 @@
+"""Differential tests: the jobs x banks BatchEngine vs its oracles.
+
+A batch of N same-template jobs must finish with each job's architectural
+state — scalar/dense registers, circular sparse queues, bank memory,
+exit/exhaustion/load-target masks — *bitwise* identical to a per-job
+:class:`LaneEngine` run of the same case, which the lane suite in turn
+pins bitwise to the scalar :class:`AllBankEngine` oracle. Stats counters
+are deliberately out of scope: a batch keeps broadcasting beats until the
+slowest job exits, so fast jobs see trailing NOPs their solo runs never
+saw (see the module docstring of :mod:`repro.pim.batch_engine`).
+
+Corpora come from the ISA fuzzer: a template leader per seed plus
+data-only variants (:func:`repro.check.fuzz.vary_case`), including the
+historically pathological regression seeds 62/63/69.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.fuzz import (build_case, fuzz_batch, fuzz_range,
+                              generate_case, run_batch_group, run_single,
+                              template_key, vary_case, _first_diff)
+from repro.config import BATCH_ENV, resolve_batch
+from repro.errors import CheckError, ConfigError, ExecutionError
+from repro.pim import BatchEngine, Mode, make_batch_engine
+
+#: Template seeds for the randomized corpus (beyond the regression trio).
+CORPUS_SEEDS = (0, 3, 7, 11, 17, 29, 101, 150)
+
+#: Seeds whose programs historically stressed queue back-pressure,
+#: exhaustion masks and merge stalls in the lane engine.
+REGRESSION_SEEDS = (62, 63, 69)
+
+
+def _corpus(seed, jobs):
+    """A template leader plus data-only variants, with their builds."""
+    leader = generate_case(seed)
+    cases = [leader] + [vary_case(leader, 10_000 + seed * 100 + i)
+                        for i in range(jobs - 1)]
+    builts = [build_case(case) for case in cases]
+    return cases, builts
+
+
+def _assert_batch_matches_solo(cases, builts, engine="lane"):
+    snapshots, _ = run_batch_group(cases, builts=builts)
+    for job, (case, built, snap) in enumerate(zip(cases, builts,
+                                                  snapshots)):
+        solo, _ = run_single(case, engine=engine, built=built)
+        diff = _first_diff(solo, snap, f"job{job}")
+        assert diff is None, f"{case.reproducer()}: {diff}"
+
+
+class TestBatchSelection:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        assert resolve_batch() == "off"
+
+    def test_env_selects_jobs(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "jobs")
+        assert resolve_batch() == "jobs"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "jobs")
+        assert resolve_batch("off") == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown batch mode"):
+            resolve_batch("lanes")
+
+
+class TestGeometry:
+    def test_lane_layout_is_job_major(self):
+        engine = BatchEngine(3, 4)
+        assert engine.num_lanes == 12
+        assert engine.lane(0, 0) == 0
+        assert engine.lane(1, 0) == 4
+        assert engine.lane(2, 3) == 11
+        assert len(engine.job_units(1)) == 4
+        assert len(engine.job_banks(2)) == 4
+
+    def test_jobs_axis_views_alias_flat_state(self):
+        engine = BatchEngine(2, 3)
+        engine.scalar[4] = 7.5          # job 1, bank 1
+        assert engine.scalar_jobs[1, 1] == 7.5
+        assert engine.scalar_jobs.shape == (2, 3)
+        assert engine.dense_jobs.shape[0] == engine.dense.shape[0]
+        assert engine.dense_jobs.shape[1:3] == (2, 3)
+        engine.exited[3:] = True        # all of job 1
+        assert engine.job_exited.tolist() == [False, True]
+
+    def test_factory_builds_batch_engine(self):
+        engine = make_batch_engine(2, 2, precision="fp32")
+        assert isinstance(engine, BatchEngine)
+        assert (engine.num_jobs, engine.num_banks) == (2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError, match="at least one job"):
+            BatchEngine(0, 4)
+        engine = BatchEngine(2, 2)
+        with pytest.raises(ExecutionError, match="job 2 out of range"):
+            engine.job_units(2)
+        with pytest.raises(ExecutionError, match="bank 5 out of range"):
+            engine.lane(0, 5)
+        with pytest.raises(ExecutionError, match="one array list per job"):
+            engine.host_write_dense_jobs("x", [[np.zeros(4)] * 2])
+        with pytest.raises(ExecutionError, match="one array per bank"):
+            engine.host_write_dense_jobs("x", [[np.zeros(4)]] * 2)
+
+    def test_host_roundtrip_heterogeneous_lengths(self):
+        engine = BatchEngine(2, 2)
+        data = [[np.arange(3.0), np.arange(5.0)],
+                [np.arange(7.0), np.arange(2.0)]]
+        engine.host_write_dense_jobs("x", data)
+        back = engine.host_read_dense_jobs("x")
+        for job in range(2):
+            for bank in range(2):
+                assert np.array_equal(back[job][bank], data[job][bank])
+
+
+class TestTemplateGrouping:
+    def test_variants_share_the_template(self):
+        leader = generate_case(11)
+        variant = vary_case(leader, 4242)
+        built_l, built_v = build_case(leader), build_case(variant)
+        assert template_key(leader, built_l) \
+            == template_key(variant, built_v)
+        assert built_l.beats == built_v.beats
+        assert list(built_l.program) == list(built_v.program)
+
+    def test_variant_data_differs_and_round_trips(self):
+        leader = generate_case(11)
+        variant = vary_case(leader, 4242)
+        built_l, built_v = build_case(leader), build_case(variant)
+        assert any(
+            not np.array_equal(a, b)
+            for name in built_l.dense_data
+            for a, b in zip(built_l.dense_data[name],
+                            built_v.dense_data[name])) or any(
+            not np.array_equal(a[2], b[2])
+            for name in built_l.triple_data
+            for a, b in zip(built_l.triple_data[name],
+                            built_v.triple_data[name]))
+        restored = vary_case(variant, None)
+        assert restored == leader
+
+    def test_vary_case_is_deterministic(self):
+        a = build_case(vary_case(generate_case(7), 99))
+        b = build_case(vary_case(generate_case(7), 99))
+        for name in a.dense_data:
+            for x, y in zip(a.dense_data[name], b.dense_data[name]):
+                assert np.array_equal(x, y)
+
+    def test_reproducer_names_the_data_seed(self):
+        variant = vary_case(generate_case(7), 99)
+        assert "vary_case(generate_case(7), 99)" in variant.reproducer()
+
+    def test_mixed_templates_rejected(self):
+        with pytest.raises(CheckError, match="mixed templates"):
+            run_batch_group([generate_case(1), generate_case(2)])
+
+
+class TestDifferentialAgreement:
+    @pytest.mark.parametrize("seed", CORPUS_SEEDS)
+    def test_batch_matches_per_job_lane(self, seed):
+        cases, builts = _corpus(seed, jobs=6)
+        _assert_batch_matches_solo(cases, builts, engine="lane")
+
+    @pytest.mark.parametrize("seed", REGRESSION_SEEDS)
+    def test_regression_seeds_match_lane_and_scalar(self, seed):
+        cases, builts = _corpus(seed, jobs=5)
+        _assert_batch_matches_solo(cases, builts, engine="lane")
+        _assert_batch_matches_solo(cases, builts, engine="scalar")
+
+    @pytest.mark.parametrize("seed", (0, 29, 62))
+    def test_batch_matches_scalar_oracle(self, seed):
+        cases, builts = _corpus(seed, jobs=4)
+        _assert_batch_matches_solo(cases, builts, engine="scalar")
+
+    def test_width_one_batch_equals_lane(self):
+        for seed in REGRESSION_SEEDS:
+            case = generate_case(seed)
+            built = build_case(case)
+            snapshots, _ = run_batch_group([case], builts=[built])
+            solo, _ = run_single(case, built=built)
+            assert _first_diff(solo, snapshots[0]) is None
+
+    def test_identical_jobs_finish_identically(self):
+        case = generate_case(69)
+        built = build_case(case)
+        cases = [case, vary_case(case, None)]   # same data twice
+        snapshots, engine = run_batch_group(cases, builts=[built, built])
+        assert _first_diff(snapshots[0], snapshots[1]) is None
+        assert engine.job_exited.shape == (2,)
+
+    def test_per_job_exit_state_is_jobwise(self):
+        cases, builts = _corpus(3, jobs=4)
+        _, engine = run_batch_group(cases, builts=builts)
+        assert bool(engine.job_exited.all()) \
+            == bool(engine.exited_jobs.all())
+        assert engine.exhausted_mask_jobs.shape \
+            == (4, cases[0].num_banks)
+        assert engine.load_targets_mask_jobs.shape \
+            == (4, cases[0].num_banks)
+
+
+class TestFuzzBatchVerdicts:
+    def test_green_corpus_matches_fuzz_range(self):
+        seeds = range(0, 48)
+        assert fuzz_batch(seeds, batch="jobs") == []
+        assert fuzz_batch(seeds, batch="off") == fuzz_range(0, 48)
+
+    def test_group_size_one_degenerates_to_per_seed(self):
+        assert fuzz_batch(range(5, 15), batch="jobs", group_size=1) \
+            == fuzz_range(5, 10)
+
+    def test_injected_batch_bug_is_reported_per_seed(self, monkeypatch):
+        """A batch-only divergence must surface the responsible seed."""
+        original = BatchEngine._reduce
+
+        def broken(self, ins, beat, active):
+            original(self, ins, beat, active)
+            # corrupt the last job's SRF only
+            self.scalar[-self.num_banks:] += 1.0
+
+        # seed 1 leads the block and its template contains a REDUCE
+        monkeypatch.setattr(BatchEngine, "_reduce", broken)
+        seeds = list(range(1, 9))
+        failures = fuzz_batch(seeds, batch="jobs", group_size=8,
+                              shrink=False)
+        assert failures, "corrupted batch run went undetected"
+        assert all("lane-vs-batch" in message or "scalar" in message
+                   for _, message in failures)
+        assert {seed for seed, _ in failures} <= set(seeds)
+
+    def test_batch_execution_error_is_attributed(self, monkeypatch):
+        def explode(self, beats):
+            raise ExecutionError("injected batch fault")
+
+        monkeypatch.setattr(BatchEngine, "run", explode)
+        failures = fuzz_batch(range(0, 4), batch="jobs", group_size=4)
+        assert len(failures) == 1
+        assert failures[0][0] == 0
+        assert "batch execution failed" in failures[0][1]
+
+
+class TestModeProtocol:
+    def test_batch_follows_the_engine_mode_protocol(self):
+        case = generate_case(0)
+        built = build_case(case)
+        engine = BatchEngine(2, case.num_banks,
+                             precision=case.precision)
+        with pytest.raises(ExecutionError, match="AB mode"):
+            engine.load_program(built.program)
+        engine.switch_mode(Mode.AB)
+        with pytest.raises(ExecutionError, match="SB mode"):
+            engine.host_write_dense_jobs(
+                "x", [[np.zeros(4)] * case.num_banks] * 2)

@@ -2,7 +2,8 @@
 """Perf-trend gate: compare fresh BENCH_*.json against committed baselines.
 
 The perf microbenchmarks (``test_perf_engine.py``, ``test_perf_plan.py``,
-``test_perf_fuzz.py``) each write a ``benchmarks/results/BENCH_*.json``
+``test_perf_fuzz.py``, ``test_perf_channels.py``) each write a
+``benchmarks/results/BENCH_*.json``
 with a ``speedups`` section. Those speedups are *ratios* between two
 implementations measured on the same machine in the same run, so they
 transfer across hardware in a way absolute times never do — that is what
@@ -21,7 +22,8 @@ baseline against a 1.0-scale run would compare different workloads.
 Re-baselining (after a deliberate perf change)::
 
     PSYNCPIM_SCALE=0.02 python -m pytest benchmarks/test_perf_engine.py \
-        benchmarks/test_perf_plan.py benchmarks/test_perf_fuzz.py
+        benchmarks/test_perf_plan.py benchmarks/test_perf_fuzz.py \
+        benchmarks/test_perf_channels.py
     python benchmarks/check_trend.py --update
     git add benchmarks/results/baselines/
 
@@ -52,6 +54,7 @@ PINNED = {
                         "distribute_paper", "distribute_balanced",
                         "level_schedule", "combined"),
     "BENCH_fuzz.json": ("execution",),
+    "BENCH_channels.json": ("channels_16v1", "channels_4v1"),
 }
 
 

@@ -1,0 +1,75 @@
+"""Channel scale-out benchmark: modelled cycles vs channel count.
+
+Prices the Fig. 8 SpMV suite under the channel-sharded execution model
+(``plan_spmv(channels=C)``) for channel counts 1 through 16 and writes
+``benchmarks/results/BENCH_channels.json`` for the CI perf-trend gate.
+
+Two kinds of numbers land in the dump:
+
+* ``cycles`` — modelled schedule length per matrix per channel count,
+  plus the suite aggregate. ``speedups.channels_16v1`` and
+  ``speedups.channels_4v1`` are aggregate-cycle ratios against the
+  single-channel layout; the aggregate is the stable, gated metric
+  because small matrices are overhead-bound (mode switches, program
+  load and host staging are paid per channel) while large ones approach
+  the bank-parallelism limit.
+* ``times`` — host wall-clock for the plan+price pipeline at each
+  channel count. Informational: sharding plans C per-channel
+  distributions instead of one, and this records that planning cost
+  does not grow pathologically with C.
+
+The modelled-cycle ratios are machine-independent (both sides come from
+the same DRAM model), so the gate transfers across CI hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import BENCH_SCALE, RESULTS_DIR, SPMV_MATRICES, bench_matrix
+from repro.config import default_system
+from repro.core import plan_spmv, time_spmv
+
+#: Channel counts swept; 16 is the full HBM2 pseudo-channel complement.
+CHANNEL_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_channel_scaling_benchmark():
+    config = default_system()
+    bench = {"scale": BENCH_SCALE, "cycles": {}, "times": {},
+             "speedups": {}}
+    totals = {}
+
+    for channels in CHANNEL_COUNTS:
+        total_cycles = 0
+        start = time.perf_counter()
+        for name in SPMV_MATRICES:
+            matrix = bench_matrix(name)
+            _, _, execution = plan_spmv(matrix, config, channels=channels,
+                                        validate=False)
+            report = time_spmv(execution, config)
+            bench["cycles"][f"{name}_{channels}ch"] = report.cycles
+            total_cycles += report.cycles
+        bench["times"][f"plan_price_{channels}ch_s"] = (
+            time.perf_counter() - start)
+        bench["cycles"][f"suite_{channels}ch"] = total_cycles
+        totals[channels] = total_cycles
+
+    for channels in CHANNEL_COUNTS[1:]:
+        bench["speedups"][f"channels_{channels}v1"] = (
+            totals[1] / totals[channels])
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_channels.json"
+    out.write_text(json.dumps(bench, indent=2) + "\n", encoding="utf-8")
+
+    # More channels must never model slower than fewer on the aggregate,
+    # and the full 16-channel complement must clear the 6x scale-out
+    # target at CI scale and above.
+    previous = float("inf")
+    for channels in CHANNEL_COUNTS:
+        assert totals[channels] <= previous, (channels, totals)
+        previous = totals[channels]
+    if BENCH_SCALE >= 0.02:
+        assert bench["speedups"]["channels_16v1"] >= 6.0, bench["speedups"]

@@ -98,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
     spmv.add_argument("--format", dest="matrix_format", default="coo",
                       choices=["coo", "csr", "bitmap"])
     spmv.add_argument("--cubes", type=int, default=1)
+    spmv.add_argument("--channels", type=int, default=None,
+                      help="shard across N explicitly modelled channels "
+                           "(default: PSYNCPIM_CHANNELS or the "
+                           "representative-channel model)")
     spmv.add_argument("--no-compress", action="store_true",
                       help="disable the Fig. 6 matrix compression")
     spmv.set_defaults(handler=_cmd_spmv)
@@ -106,6 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="ILDU-factorise and time both solves")
     _matrix_args(sptrsv)
     sptrsv.add_argument("--cubes", type=int, default=1)
+    sptrsv.add_argument("--channels", type=int, default=None,
+                        help="shard across N explicitly modelled channels "
+                             "(default: PSYNCPIM_CHANNELS or the "
+                             "representative-channel model)")
     sptrsv.set_defaults(handler=_cmd_sptrsv)
 
     app = sub.add_parser("app", help="run a Table II application")
@@ -143,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "PSYNCPIM_CACHE_DIR or ~/.cache/psyncpim)")
     sweep.add_argument("--energy", action="store_true",
                        help="price energy alongside cycles")
+    sweep.add_argument("--channels", type=int, default=None,
+                       help="shard across N explicitly modelled channels "
+                            "(default: PSYNCPIM_CHANNELS or the "
+                            "representative-channel model)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     profile = sub.add_parser(
@@ -243,7 +255,8 @@ def _cmd_suite(args) -> int:
 
 def _cmd_spmv(args) -> int:
     matrix = _load_matrix(args)
-    pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision)
+    pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision,
+                   channels=args.channels)
     x = np.random.default_rng(args.seed).random(matrix.shape[1])
     result = pim.spmv(matrix, x, compress=not args.no_compress,
                       precision=args.precision,
@@ -278,7 +291,7 @@ def _cmd_spmv(args) -> int:
 
 def _cmd_sptrsv(args) -> int:
     matrix = _load_matrix(args)
-    pim = PSyncPIM(num_cubes=args.cubes)
+    pim = PSyncPIM(num_cubes=args.cubes, channels=args.channels)
     factors = pim.factorize(matrix)
     b = np.random.default_rng(args.seed).random(matrix.shape[0])
     rows = []
@@ -303,7 +316,8 @@ def _cmd_sweep(args) -> int:
     jobs = suite_jobs(kernel=args.kernel, matrices=matrices,
                       scale=args.scale, precision=args.precision,
                       num_cubes=args.cubes, platform=args.platform,
-                      mode=args.mode, with_energy=args.energy)
+                      mode=args.mode, with_energy=args.energy,
+                      channels=args.channels)
     result = run_sweep(jobs, workers=args.workers,
                        cache_dir=args.cache_dir,
                        use_cache=not args.no_cache,

@@ -105,6 +105,41 @@ def resolve_batch(explicit: Optional[str] = None) -> str:
     return name
 
 
+#: Environment variable selecting the channel-sharded execution width.
+CHANNELS_ENV = "PSYNCPIM_CHANNELS"
+
+
+def resolve_channels(explicit: Optional[int] = None) -> Optional[int]:
+    """Resolve the channel-sharding width: explicit arg > env var > None.
+
+    ``None`` selects the representative-channel model: work is laid out
+    over every processing unit and the synthesised trace covers one
+    pseudo-channel under the symmetric-broadcast assumption (the
+    pre-scale-out behaviour, bitwise unchanged). An integer ``C >= 1``
+    selects the channel-sharded model instead: tiles are sharded over
+    ``C`` explicitly modelled channels, each with its own 16-bank
+    distribution, command stream and scheduler clock.
+
+    Mirrors :func:`resolve_engine`: invalid values raise
+    :class:`ConfigError` so typos fail loudly rather than silently
+    running the other execution model.
+    """
+    raw: "Optional[object]" = explicit
+    if raw is None:
+        text = os.environ.get(CHANNELS_ENV, "").strip()
+        if not text:
+            return None
+        raw = text
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"channel count must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ConfigError(f"channel count must be >= 1, got {value}")
+    return value
+
+
 #: Precision name -> element size in bytes, for every precision the VALU
 #: supports (Table VIII: INT8 through FP64).
 PRECISION_BYTES: Dict[str, int] = {

@@ -4,15 +4,17 @@ trace synthesis and timing."""
 from .partition import (PartitionPlan, SubMatrix, partition, reassemble,
                         tile_capacity)
 from .planner import Planner, make_planner
-from .distribution import (Assignment, accumulation_traffic_bytes,
-                           distribute, replication_traffic_bytes)
+from .distribution import (Assignment, ChannelAssignment,
+                           accumulation_traffic_bytes, distribute,
+                           replication_traffic_bytes, shard_channels)
 from .spmv import (SpmvExecution, SpmvResult, element_bytes, plan_spmv,
                    run_spmv)
 from .sptrsv import (ILDUFactors, SpTrsvExecution, SpTrsvResult, ildu,
                      level_schedule, recursive_plan, reorder_by_levels,
                      run_sptrsv, solve_unit_triangular_reference)
 from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
-                    spmv_pb_trace, sptrsv_ab_trace)
+                    spmv_channels_trace, spmv_pb_trace, sptrsv_ab_trace,
+                    sptrsv_channels_trace)
 from .timing import (PerfReport, price_trace, time_dense_kernel, time_spmv,
                      time_sptrsv)
 from .runtime import PSyncPIM
@@ -20,13 +22,15 @@ from .runtime import PSyncPIM
 __all__ = [
     "PartitionPlan", "SubMatrix", "partition", "reassemble",
     "tile_capacity", "Planner", "make_planner",
-    "Assignment", "accumulation_traffic_bytes",
-    "distribute", "replication_traffic_bytes", "SpmvExecution",
-    "SpmvResult", "element_bytes", "plan_spmv", "run_spmv", "ILDUFactors",
+    "Assignment", "ChannelAssignment", "accumulation_traffic_bytes",
+    "distribute", "replication_traffic_bytes", "shard_channels",
+    "SpmvExecution", "SpmvResult", "element_bytes", "plan_spmv",
+    "run_spmv", "ILDUFactors",
     "SpTrsvExecution", "SpTrsvResult", "ildu", "level_schedule",
     "recursive_plan", "reorder_by_levels", "run_sptrsv",
     "solve_unit_triangular_reference", "TraceParams",
-    "dense_stream_trace", "spmv_ab_trace", "spmv_pb_trace",
-    "sptrsv_ab_trace", "PerfReport", "price_trace", "time_dense_kernel",
+    "dense_stream_trace", "spmv_ab_trace", "spmv_channels_trace",
+    "spmv_pb_trace", "sptrsv_ab_trace", "sptrsv_channels_trace",
+    "PerfReport", "price_trace", "time_dense_kernel",
     "time_spmv", "time_sptrsv",
 ]

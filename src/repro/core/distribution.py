@@ -92,6 +92,55 @@ class Assignment:
         return loads
 
 
+@dataclass
+class ChannelAssignment:
+    """Tiles sharded across pseudo-channels, one :class:`Assignment` each.
+
+    Channels never interact mid-kernel (each pseudo-channel has its own
+    command bus), so the shards are independent lock-step schedules; the
+    device-level critical path is the *maximum* over shards, not the sum.
+    """
+
+    num_channels: int
+    banks_per_channel: int
+    shards: List[Assignment]
+    policy: str
+
+    @property
+    def num_banks(self) -> int:
+        return self.num_channels * self.banks_per_channel
+
+    @property
+    def num_rounds(self) -> int:
+        return max(shard.num_rounds for shard in self.shards)
+
+    @property
+    def banks_used(self) -> int:
+        return sum(shard.banks_used for shard in self.shards)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(shard.total_elements for shard in self.shards)
+
+    @property
+    def critical_path_elements(self) -> int:
+        """Lock-step cost of the busiest channel (channels run in parallel)."""
+        return max(shard.critical_path_elements for shard in self.shards)
+
+    @property
+    def imbalance(self) -> float:
+        """busiest channel's critical path / ideal (total / banks)."""
+        ideal = self.total_elements / self.num_banks
+        if ideal == 0:
+            return 1.0
+        return self.critical_path_elements / ideal
+
+    def per_bank_elements(self) -> np.ndarray:
+        """Per-unit loads, channel-major: unit ``c * bpc + b``."""
+        return np.concatenate(
+            [shard.per_bank_elements() for shard in self.shards])
+
+
 def split_oversized(tiles: Sequence[SubMatrix],
                     nnz_cap: int) -> List[SubMatrix]:
     """Split tiles whose element count exceeds *nnz_cap*.
@@ -142,13 +191,27 @@ def distribute(plan: PartitionPlan, num_banks: int,
     :mod:`repro.core.planner`); both produce identical assignments,
     including the greedy tie-break order.
     """
+    assignment = _distribute_tiles(plan.tiles, num_banks, policy,
+                                   balance_slack, planner,
+                                   total_nnz=plan.total_nnz)
+    _check(assignment.total_elements, plan.total_nnz)
+    return assignment
+
+
+def _distribute_tiles(tiles: Sequence[SubMatrix], num_banks: int,
+                      policy: str, balance_slack: float,
+                      planner: Optional[str],
+                      total_nnz: Optional[int] = None) -> Assignment:
+    """Round-formation core shared by :func:`distribute` (whole plan) and
+    :func:`shard_channels` (one channel's tile shard)."""
     if num_banks <= 0:
         raise MappingError("need at least one bank")
     fast = resolve_planner(planner) == "fast"
-    tiles: Sequence[SubMatrix] = plan.tiles
+    if total_nnz is None:
+        total_nnz = int(_tile_nnz(tiles).sum()) if tiles else 0
     if policy == "paper":
-        if balance_slack and plan.total_nnz:
-            cap = max(16, math.ceil(plan.total_nnz / num_banks
+        if balance_slack and total_nnz:
+            cap = max(16, math.ceil(total_nnz / num_banks
                                     * balance_slack))
             tiles = split_oversized(tiles, cap)
         # Descending-size round packing: each lock-step round costs its
@@ -169,9 +232,58 @@ def distribute(plan: PartitionPlan, num_banks: int,
             else _balanced(tiles, num_banks)
     else:
         raise MappingError(f"unknown distribution policy {policy!r}")
-    assignment = Assignment(num_banks=num_banks, rounds=rounds,
-                            policy=policy)
-    _check(assignment, plan)
+    return Assignment(num_banks=num_banks, rounds=rounds, policy=policy)
+
+
+def shard_channels(plan: PartitionPlan, num_channels: int,
+                   banks_per_channel: int = 16,
+                   policy: str = "paper",
+                   balance_slack: float = 0.6,
+                   planner: Optional[str] = None) -> ChannelAssignment:
+    """Shard a partition plan across *num_channels* pseudo-channels.
+
+    Two-level distribution: tiles are first assigned to channels by greedy
+    LPT (stable descending-nnz order into the currently lightest channel —
+    the same machinery as the ``"balanced"`` bank policy, lifted to channel
+    granularity), then each channel's shard runs through the ordinary
+    per-bank :func:`distribute` pass under *policy*.
+
+    Under the paper policy, oversized tiles are pre-split against the
+    *device-wide* cap (ideal share over all ``num_channels *
+    banks_per_channel`` units) before channel selection, so a single hub
+    tile cannot capsize one channel. Each channel keeps its tiles in
+    original plan order, which makes ``num_channels=1`` collapse exactly to
+    ``distribute(plan, banks_per_channel)`` — the single-channel bitwise
+    anchor the differential tests pin.
+    """
+    if num_channels <= 0:
+        raise MappingError("need at least one channel")
+    if banks_per_channel <= 0:
+        raise MappingError("need at least one bank per channel")
+    tiles: Sequence[SubMatrix] = plan.tiles
+    total_banks = num_channels * banks_per_channel
+    if policy == "paper" and balance_slack and plan.total_nnz:
+        cap = max(16, math.ceil(plan.total_nnz / total_banks
+                                * balance_slack))
+        tiles = split_oversized(tiles, cap)
+    nnz = _tile_nnz(tiles)
+    order = stable_desc_order(nnz)
+    channel_of = np.zeros(len(tiles), dtype=np.int64)
+    heap = [(0, c) for c in range(num_channels)]
+    for index in order:
+        load, channel = heapq.heappop(heap)
+        channel_of[int(index)] = channel
+        heapq.heappush(heap, (load + int(nnz[index]), channel))
+    shards = []
+    for channel in range(num_channels):
+        shard_tiles = [tiles[i] for i in range(len(tiles))
+                       if channel_of[i] == channel]
+        shards.append(_distribute_tiles(shard_tiles, banks_per_channel,
+                                        policy, balance_slack, planner))
+    assignment = ChannelAssignment(num_channels=num_channels,
+                                   banks_per_channel=banks_per_channel,
+                                   shards=shards, policy=policy)
+    _check(assignment.total_elements, plan.total_nnz)
     return assignment
 
 
@@ -243,12 +355,10 @@ def _balanced_fast(tiles: Sequence[SubMatrix],
     return rounds
 
 
-def _check(assignment: Assignment, plan: PartitionPlan) -> None:
-    placed = sum(tile.nnz for round_tiles in assignment.rounds
-                 for tile in round_tiles if tile is not None)
-    if placed != plan.total_nnz:
+def _check(placed: int, expected: int) -> None:
+    if placed != expected:
         raise MappingError(
-            f"distribution dropped elements: {placed} != {plan.total_nnz}")
+            f"distribution dropped elements: {placed} != {expected}")
 
 
 def replication_traffic_bytes(assignment: Assignment,

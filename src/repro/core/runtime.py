@@ -36,7 +36,8 @@ class PSyncPIM:
                  fidelity: str = "fast",
                  engine_banks: Optional[int] = None,
                  trace_params: Optional[TraceParams] = None,
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 channels: Optional[int] = None) -> None:
         if fidelity not in ("fast", "functional"):
             raise ExecutionError(f"unknown fidelity {fidelity!r}")
         self.config = config or default_system(num_cubes)
@@ -44,6 +45,9 @@ class PSyncPIM:
         self.fidelity = fidelity
         self.engine_banks = engine_banks
         self.trace_params = trace_params or TraceParams()
+        #: Channel-sharded execution width (None = legacy representative
+        #: channel; explicit arg > PSYNCPIM_CHANNELS > default).
+        self.channels = channels
 
     # ------------------------------------------------------------------
     # kernels
@@ -61,7 +65,8 @@ class PSyncPIM:
                         fidelity=self.fidelity, multiply=multiply,
                         accumulate=accumulate, y0=y0,
                         engine_banks=self.engine_banks,
-                        matrix_format=matrix_format)
+                        matrix_format=matrix_format,
+                        channels=self.channels)
 
     def sptrsv(self, triangular: COOMatrix, b: np.ndarray,
                lower: bool = True, reorder: bool = True,
@@ -70,7 +75,8 @@ class PSyncPIM:
         return run_sptrsv(triangular, b, self.config, lower=lower,
                           precision=precision or self.precision,
                           fidelity=self.fidelity, reorder=reorder,
-                          engine_banks=self.engine_banks)
+                          engine_banks=self.engine_banks,
+                          channels=self.channels)
 
     def factorize(self, matrix: COOMatrix) -> ILDUFactors:
         """Host-side ILDU preprocessing (§VI-D)."""
@@ -137,6 +143,7 @@ class PSyncPIM:
         from ..sweep import SweepJob, resolve_bench_scale, run_sweep
         if scale is None:
             scale = resolve_bench_scale()
+        job_overrides.setdefault("channels", self.channels)
         jobs = []
         for entry in matrices:
             if isinstance(entry, SweepJob):

@@ -17,18 +17,19 @@ loads, external traffic, utilisation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..config import SystemConfig, element_size
-from ..errors import ExecutionError
+from ..config import SystemConfig, element_size, resolve_channels
+from ..errors import ConfigError, ExecutionError
 from ..formats import COOMatrix
 from ..kernels import Tile, run_tile_round
 from .. import obs
 from ..pim import make_engine
-from .distribution import (Assignment, accumulation_traffic_bytes,
-                           distribute, replication_traffic_bytes)
+from .distribution import (Assignment, ChannelAssignment,
+                           accumulation_traffic_bytes, distribute,
+                           replication_traffic_bytes, shard_channels)
 from .partition import PartitionPlan, partition
 
 
@@ -62,6 +63,13 @@ class SpmvExecution:
     #: Per-round x/y tile lengths of the *largest* tile (trace synthesis).
     round_x_lengths: List[int] = field(default_factory=list)
     round_y_lengths: List[int] = field(default_factory=list)
+    #: Channel-sharded executions carry the shard width here; ``None``
+    #: selects the legacy representative-channel model (work over
+    #: ``config.total_units`` banks, one synthesised channel stream).
+    num_channels: Optional[int] = None
+    banks_per_channel: int = 16
+    #: One per-channel sub-execution per shard (empty when unsharded).
+    channel_execs: List["SpmvExecution"] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -76,6 +84,11 @@ class SpmvExecution:
         return int(self.per_bank_elements.sum())
 
 
+#: A bank layout: whole-device :class:`Assignment` (legacy model) or a
+#: per-channel sharded :class:`ChannelAssignment`.
+AnyAssignment = Union[Assignment, ChannelAssignment]
+
+
 @dataclass
 class SpmvResult:
     """SpMV output plus its execution record."""
@@ -83,7 +96,7 @@ class SpmvResult:
     y: np.ndarray
     execution: SpmvExecution
     plan: PartitionPlan
-    assignment: Assignment
+    assignment: AnyAssignment
 
 
 #: COO element footprint: two 16-bit tile-local indices plus the value.
@@ -97,9 +110,10 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
               precision: str = "fp64", compress: bool = True,
               policy: str = "paper", matrix_format: str = "coo",
               plan: Optional[PartitionPlan] = None,
-              assignment: Optional[Assignment] = None,
+              assignment: Optional[AnyAssignment] = None,
               planner: Optional[str] = None, validate: bool = True,
-              ) -> "tuple[PartitionPlan, Assignment, SpmvExecution]":
+              channels: Optional[int] = None,
+              ) -> "tuple[PartitionPlan, AnyAssignment, SpmvExecution]":
     """Lay out one SpMV without executing it numerically.
 
     Returns the partition plan, the bank assignment and the
@@ -111,32 +125,89 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
     ``planner`` selects the planning implementation (see
     :mod:`repro.core.planner`); ``validate=False`` skips the plan
     round-trip check in trusted hot paths such as the sweep runner.
+
+    ``channels`` selects the execution model (explicit arg >
+    ``PSYNCPIM_CHANNELS`` > default). ``None`` is the legacy
+    representative-channel layout over ``config.total_units`` banks.
+    An integer ``C`` shards tiles over ``C`` explicitly modelled
+    pseudo-channels (:func:`repro.core.distribution.shard_channels`),
+    each with its own per-bank distribution and trace stream.
     """
+    channels = resolve_channels(channels)
     if plan is None:
         with obs.span("plan.partition", cat="planner",
                       nnz=matrix.nnz, compress=compress):
             plan = partition(matrix, config, precision=precision,
                              compress=compress, planner=planner,
                              validate=validate)
-    num_banks = config.total_units
-    if assignment is None:
-        with obs.span("plan.distribute", cat="planner",
-                      tiles=len(plan.tiles), policy=policy):
-            assignment = distribute(plan, num_banks, policy=policy,
-                                    planner=planner)
-
     value_bytes = element_size(precision)
     stream_bpe = _stream_bytes_per_element(matrix_format, plan,
                                            value_bytes, matrix)
-    execution = SpmvExecution(
+
+    if channels is None:
+        num_banks = config.total_units
+        if assignment is None:
+            with obs.span("plan.distribute", cat="planner",
+                          tiles=len(plan.tiles), policy=policy):
+                assignment = distribute(plan, num_banks, policy=policy,
+                                        planner=planner)
+        execution = _assignment_execution(assignment, precision, policy,
+                                          compress, matrix_format,
+                                          stream_bpe)
+    else:
+        available = config.memory.num_pseudo_channels
+        if channels > available:
+            raise ConfigError(
+                f"channels={channels} exceeds the platform's "
+                f"{available} pseudo-channels")
+        bpc = config.memory.banks_per_channel
+        if assignment is None:
+            with obs.span("plan.shard", cat="planner",
+                          tiles=len(plan.tiles), policy=policy,
+                          channels=channels):
+                assignment = shard_channels(plan, channels,
+                                            banks_per_channel=bpc,
+                                            policy=policy,
+                                            planner=planner)
+        elif not isinstance(assignment, ChannelAssignment):
+            raise ConfigError(
+                "channels= requires a ChannelAssignment layout")
+        channel_execs = [
+            _assignment_execution(shard, precision, policy, compress,
+                                  matrix_format, stream_bpe)
+            for shard in assignment.shards]
+        execution = _compose_channel_execution(
+            assignment, channel_execs, precision, policy, compress,
+            matrix_format, stream_bpe)
+    if obs.enabled():
+        obs.set_gauge("spmv.banks_used", execution.banks_used)
+        obs.set_gauge("spmv.imbalance", execution.imbalance)
+        obs.set_gauge("spmv.rounds", execution.num_rounds)
+        if channels is not None:
+            obs.set_gauge("spmv.channels", channels)
+        obs.add_counter("spmv.plans", 1)
+    return plan, assignment, execution
+
+
+def _assignment_execution(assignment: Assignment, precision: str,
+                          policy: str, compress: bool, matrix_format: str,
+                          stream_bpe: float) -> SpmvExecution:
+    """Build the execution record for one bank-level assignment.
+
+    Shared by the legacy whole-device layout and each channel shard;
+    ``assignment.total_elements`` equals the plan nnz for the former, the
+    shard nnz for the latter.
+    """
+    value_bytes = element_size(precision)
+    return SpmvExecution(
         precision=precision,
-        num_banks=num_banks,
+        num_banks=assignment.num_banks,
         round_batches=[assignment.round_batch_elements(r)
                        for r in range(assignment.num_rounds)],
         per_bank_elements=assignment.per_bank_elements(),
         input_bytes=replication_traffic_bytes(assignment, value_bytes),
         output_bytes=accumulation_traffic_bytes(assignment, value_bytes),
-        matrix_bytes=int(round(plan.total_nnz * stream_bpe)),
+        matrix_bytes=int(round(assignment.total_elements * stream_bpe)),
         banks_used=assignment.banks_used,
         imbalance=assignment.imbalance,
         policy=policy,
@@ -150,12 +221,46 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
             max((t.touched_rows for t in round_tiles if t is not None),
                 default=0) for round_tiles in assignment.rounds],
     )
-    if obs.enabled():
-        obs.set_gauge("spmv.banks_used", execution.banks_used)
-        obs.set_gauge("spmv.imbalance", execution.imbalance)
-        obs.set_gauge("spmv.rounds", execution.num_rounds)
-        obs.add_counter("spmv.plans", 1)
-    return plan, assignment, execution
+
+
+def _compose_channel_execution(assignment: ChannelAssignment,
+                               channel_execs: List[SpmvExecution],
+                               precision: str, policy: str, compress: bool,
+                               matrix_format: str,
+                               stream_bpe: float) -> SpmvExecution:
+    """Device-level roll-up of per-channel executions.
+
+    The round-shaped fields report the per-round *maximum* across channels
+    (channels run in parallel on independent command buses); traffic and
+    utilisation fields sum. Pricing never consumes the roll-up rounds —
+    the per-channel traces are synthesised from ``channel_execs``.
+    """
+    rounds = assignment.num_rounds
+    def round_max(field_name: str) -> List[int]:
+        return [max((getattr(sub, field_name)[r]
+                     for sub in channel_execs if r < sub.num_rounds),
+                    default=0) for r in range(rounds)]
+    return SpmvExecution(
+        precision=precision,
+        num_banks=assignment.num_banks,
+        round_batches=round_max("round_batches"),
+        per_bank_elements=np.concatenate(
+            [sub.per_bank_elements for sub in channel_execs]),
+        input_bytes=sum(sub.input_bytes for sub in channel_execs),
+        output_bytes=sum(sub.output_bytes for sub in channel_execs),
+        matrix_bytes=sum(sub.matrix_bytes for sub in channel_execs),
+        banks_used=sum(sub.banks_used for sub in channel_execs),
+        imbalance=assignment.imbalance,
+        policy=policy,
+        compressed=compress,
+        matrix_format=matrix_format,
+        stream_bytes_per_element=stream_bpe,
+        round_x_lengths=round_max("round_x_lengths"),
+        round_y_lengths=round_max("round_y_lengths"),
+        num_channels=assignment.num_channels,
+        banks_per_channel=assignment.banks_per_channel,
+        channel_execs=channel_execs,
+    )
 
 
 def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
@@ -166,10 +271,11 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
              engine_banks: Optional[int] = None,
              matrix_format: str = "coo",
              plan: Optional[PartitionPlan] = None,
-             assignment: Optional[Assignment] = None,
+             assignment: Optional[AnyAssignment] = None,
              engine: Optional[str] = None,
              planner: Optional[str] = None,
-             validate: bool = True) -> SpmvResult:
+             validate: bool = True,
+             channels: Optional[int] = None) -> SpmvResult:
     """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
 
     ``engine_banks`` caps the functional engine size (the plan itself is
@@ -192,23 +298,49 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
     plan, assignment, execution = plan_spmv(
         matrix, config, precision=precision, compress=compress,
         policy=policy, matrix_format=matrix_format, plan=plan,
-        assignment=assignment, planner=planner, validate=validate)
+        assignment=assignment, planner=planner, validate=validate,
+        channels=channels)
 
+    # Channel-sharded layouts execute as one big lane array of
+    # (channel, bank) units; channels never interact mid-kernel, so the
+    # flattened lane rounds are semantically a wider single round.
+    rounds = (assignment.rounds if isinstance(assignment, Assignment)
+              else _lane_rounds(assignment))
     if fidelity == "fast":
         with obs.span("spmv.rounds", cat="kernel", fidelity=fidelity,
-                      rounds=assignment.num_rounds):
-            y = _fast_rounds(matrix, x, assignment, accumulate, multiply,
+                      rounds=len(rounds)):
+            y = _fast_rounds(matrix, x, rounds, accumulate, multiply,
                              y0)
     elif fidelity == "functional":
         with obs.span("spmv.rounds", cat="kernel", fidelity=fidelity,
-                      rounds=assignment.num_rounds):
-            y = _functional_rounds(matrix, x, assignment, precision,
+                      rounds=len(rounds)):
+            y = _functional_rounds(matrix, x, rounds, precision,
                                    accumulate, multiply, y0, engine_banks,
                                    engine)
     else:
         raise ExecutionError(f"unknown fidelity {fidelity!r}")
     return SpmvResult(y=y, execution=execution, plan=plan,
                       assignment=assignment)
+
+
+def _lane_rounds(assignment: ChannelAssignment) -> List[list]:
+    """Flatten a channel-sharded layout into channel-major lane rounds.
+
+    Round ``r`` concatenates every shard's round ``r`` (``None``-padded to
+    ``banks_per_channel`` for exhausted shards): lane ``c * bpc + b`` is
+    channel *c*, bank *b*. With one channel this is exactly the shard's
+    own round list, which keeps the fast-tier accumulation order — and so
+    the floating-point result — bitwise identical to the legacy path.
+    """
+    empty = [None] * assignment.banks_per_channel
+    rounds = []
+    for r in range(assignment.num_rounds):
+        lanes: list = []
+        for shard in assignment.shards:
+            lanes.extend(shard.rounds[r] if r < shard.num_rounds
+                         else empty)
+        rounds.append(lanes)
+    return rounds
 
 
 def _stream_bytes_per_element(matrix_format: str, plan: PartitionPlan,
@@ -240,7 +372,7 @@ _MULT_FUNC = {"mul": np.multiply, "add": np.add,
               "second": lambda a, b: b}
 
 
-def _fast_rounds(matrix, x, assignment: Assignment, accumulate, multiply,
+def _fast_rounds(matrix, x, rounds: Sequence[list], accumulate, multiply,
                  y0) -> np.ndarray:
     try:
         acc = _ACCUM_UFUNC[accumulate]
@@ -250,7 +382,7 @@ def _fast_rounds(matrix, x, assignment: Assignment, accumulate, multiply,
             f"unsupported semiring ({multiply}, {accumulate})") from None
     y = (np.zeros(matrix.shape[0]) if y0 is None
          else np.asarray(y0, dtype=np.float64).copy())
-    for round_tiles in assignment.rounds:
+    for round_tiles in rounds:
         for tile in round_tiles:
             if tile is None or tile.nnz == 0:
                 continue
@@ -277,7 +409,7 @@ _MERGE = {"add": (0.0, np.add), "sub": (0.0, np.add),
           "lor": (0.0, np.maximum)}
 
 
-def _functional_rounds(matrix, x, assignment: Assignment, precision,
+def _functional_rounds(matrix, x, rounds: Sequence[list], precision,
                        accumulate, multiply, y0,
                        engine_banks: Optional[int],
                        engine_name: Optional[str] = None) -> np.ndarray:
@@ -288,7 +420,7 @@ def _functional_rounds(matrix, x, assignment: Assignment, precision,
     except KeyError:
         raise ExecutionError(
             f"unsupported accumulate {accumulate!r}") from None
-    for round_tiles in assignment.rounds:
+    for round_tiles in rounds:
         active = [(b, tile) for b, tile in enumerate(round_tiles)
                   if tile is not None and tile.nnz]
         if not active:

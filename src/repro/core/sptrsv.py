@@ -25,8 +25,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..config import SystemConfig, resolve_planner
-from ..errors import ExecutionError, MappingError, SolverError
+from ..config import SystemConfig, resolve_channels, resolve_planner
+from ..errors import ConfigError, ExecutionError, MappingError, SolverError
 from ..formats import COOMatrix, CSRMatrix
 from ..kernels import Tile, run_tile_round
 from ..pim import make_engine
@@ -333,6 +333,12 @@ class SpTrsvExecution:
     update_batches: List[int] = field(default_factory=list)
     #: Full execution records of the update SpMVs (trace synthesis).
     update_execs: List[object] = field(default_factory=list)
+    #: Channel-sharded solves carry the shard width here; ``None`` selects
+    #: the legacy representative-channel model.
+    num_channels: Optional[int] = None
+    banks_per_channel: int = 16
+    #: One per-channel sub-execution per shard (empty when unsharded).
+    channel_execs: List["SpTrsvExecution"] = field(default_factory=list)
 
     @property
     def num_levels(self) -> int:
@@ -355,7 +361,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                leaf_size: Optional[int] = None,
                engine_banks: Optional[int] = None,
                engine: Optional[str] = None,
-               planner: Optional[str] = None) -> SpTrsvResult:
+               planner: Optional[str] = None,
+               channels: Optional[int] = None) -> SpTrsvResult:
     """Solve ``T x = b`` for unit triangular T on the pSyncPIM model.
 
     Upper solves are run as lower solves on the reversed ordering
@@ -365,9 +372,24 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
     ``planner`` selects the host-side scheduling implementation (level
     computation, leaf level formation); results and execution records are
     bitwise identical either way (see :mod:`repro.core.planner`).
+
+    ``channels`` selects the execution model (explicit arg >
+    ``PSYNCPIM_CHANNELS`` > default): ``None`` is the legacy
+    representative-channel layout over ``config.total_units`` banks; an
+    integer ``C`` shards every leaf level's row ranges and every update
+    SpMV over ``C`` explicitly modelled channels. Fast-tier numerics are
+    bitwise identical for any ``C`` (the host-side scatter order does not
+    depend on the bank split).
     """
     b = np.asarray(b, dtype=np.float64)
     n = tri.shape[0]
+    channels = resolve_channels(channels)
+    if channels is not None:
+        available = config.memory.num_pseudo_channels
+        if channels > available:
+            raise ConfigError(
+                f"channels={channels} exceeds the platform's "
+                f"{available} pseudo-channels")
     if b.shape != (n,):
         raise ExecutionError("right-hand side length mismatch")
     if not tri.is_square:
@@ -384,7 +406,7 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                             precision=precision, fidelity=fidelity,
                             reorder=reorder, leaf_size=leaf_size,
                             engine_banks=engine_banks, engine=engine,
-                            planner=planner)
+                            planner=planner, channels=channels)
         result.x = result.x[::-1].copy()
         return result
 
@@ -401,9 +423,21 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
 
     leaf = leaf_size or tile_capacity(config, precision)
     plan = recursive_plan(n, leaf)
-    execution = SpTrsvExecution(precision=precision,
-                                num_banks=config.total_units,
+    bpc = config.memory.banks_per_channel
+    if channels is None:
+        execution = SpTrsvExecution(precision=precision,
+                                    num_banks=config.total_units,
+                                    n=n, leaf_size=leaf)
+    else:
+        # Channels are per-cube: the lane array spans C * bpc units and
+        # num_cubes stays a symmetric multiplier in the energy model.
+        execution = SpTrsvExecution(
+            precision=precision, num_banks=channels * bpc, n=n,
+            leaf_size=leaf, num_channels=channels, banks_per_channel=bpc,
+            channel_execs=[
+                SpTrsvExecution(precision=precision, num_banks=bpc,
                                 n=n, leaf_size=leaf)
+                for _ in range(channels)])
     strict = work.strictly_lower()
     if planner_name == "fast":
         # Column-major order gives every leaf block's elements as one
@@ -420,7 +454,7 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
             if step.kind == "update":
                 _apply_update(strict, rhs, step, config, precision,
                               fidelity, engine_banks, execution, engine,
-                              planner_name)
+                              planner_name, channels)
             else:
                 solve_leaf(leaf_source, rhs, step, config, precision,
                            fidelity, engine_banks, execution, engine)
@@ -440,7 +474,8 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
                   config, precision, fidelity, engine_banks,
                   execution: SpTrsvExecution,
                   engine: Optional[str] = None,
-                  planner: Optional[str] = None) -> None:
+                  planner: Optional[str] = None,
+                  channels: Optional[int] = None) -> None:
     """b1 -= M @ x0 (Eq. 3's SpMV between the two recursive solves)."""
     from .spmv import run_spmv  # local import: spmv <-> sptrsv layering
     r0, r1 = step.row_range
@@ -451,11 +486,21 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
     result = run_spmv(block, rhs[c0:c1], config, precision=precision,
                       fidelity=fidelity, accumulate="sub",
                       y0=rhs[r0:r1], engine_banks=engine_banks,
-                      engine=engine, planner=planner)
+                      engine=engine, planner=planner, channels=channels)
     rhs[r0:r1] = result.y
     execution.update_elements.append(block.nnz)
     execution.update_batches.append(result.execution.num_rounds)
     execution.update_execs.append(result.execution)
+    # Thread each channel's share of the update into its sub-execution;
+    # shards the LPT pass left empty skip the update entirely (an idle
+    # channel issues no commands for it).
+    for sub, sub_exec in zip(execution.channel_execs,
+                             result.execution.channel_execs):
+        if sub_exec.total_elements == 0:
+            continue
+        sub.update_elements.append(sub_exec.total_elements)
+        sub.update_batches.append(sub_exec.num_rounds)
+        sub.update_execs.append(sub_exec)
 
 
 def _solve_leaf_scalar(csr_cols: CSRMatrix, rhs: np.ndarray,
@@ -550,8 +595,12 @@ def _run_leaf_level(cols, rows, lcols, vals, rhs, lo, width, config,
     """Execute one leaf level (shared by both planners)."""
     # The columns of this level are solved: x = b (unit diagonal).
     scales = rhs[lo + cols]
+    per_bank: List[tuple] = []
     if rows.size:
-        per_bank = _split_rows(rows, lcols, vals, config.total_units)
+        # Row-contiguous shares over the laid-out units: all of
+        # config.total_units in the legacy model, C * banks_per_channel
+        # (channel-major: unit c*bpc+b is channel c, bank b) when sharded.
+        per_bank = _split_rows(rows, lcols, vals, execution.num_banks)
         batch = max(chunk[0].size for chunk in per_bank)
         execution.level_batches.append(int(batch))
         if fidelity == "fast":
@@ -565,6 +614,18 @@ def _run_leaf_level(cols, rows, lcols, vals, rhs, lo, width, config,
         execution.level_batches.append(0)
     execution.level_elements.append(int(rows.size))
     execution.level_widths.append(int(cols.size))
+    # Per-channel accounting: every channel walks the level schedule in
+    # lock step (the solved values must reach all channels before the next
+    # level — the broadcast seam the trace prices), so each sub-execution
+    # records the level even when its share of elements is empty.
+    bpc = execution.banks_per_channel
+    for ch, sub in enumerate(execution.channel_execs):
+        chunks = per_bank[ch * bpc:(ch + 1) * bpc]
+        sub.level_batches.append(
+            max((chunk[0].size for chunk in chunks), default=0))
+        sub.level_elements.append(
+            int(sum(chunk[0].size for chunk in chunks)))
+        sub.level_widths.append(int(cols.size))
 
 
 def _split_rows(rows, cols, vals, num_banks):

@@ -18,7 +18,8 @@ from .. import obs
 from .spmv import SpmvExecution
 from .sptrsv import SpTrsvExecution
 from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
-                    spmv_pb_trace, sptrsv_ab_trace)
+                    spmv_channels_trace, spmv_pb_trace, sptrsv_ab_trace,
+                    sptrsv_channels_trace)
 
 #: Tags marking host-side (external interface) column traffic.
 HOST_TAGS = frozenset({"stage_x", "merge_y", "read_b", "broadcast"})
@@ -52,28 +53,44 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
                 timing: TimingParams = TimingParams(),
                 with_energy: bool = False, alu_operations: int = 0,
                 precision: str = "fp64",
-                enable_refresh: bool = True) -> PerfReport:
-    """Schedule *trace* on one channel and collect cycles and energy."""
+                enable_refresh: bool = True,
+                channels: Optional[int] = None) -> PerfReport:
+    """Schedule *trace* under the platform's full channel hierarchy.
+
+    ``channels=None`` is the representative-channel model: the trace
+    covers one channel and energy is scaled by the platform channel count.
+    ``channels=C`` marks a channel-sharded trace whose commands already
+    carry explicit channel ids — the scheduler clocks each channel
+    independently (total cycles = max over channels) and command energy is
+    already per-channel-exact, so only the cube count multiplies it.
+    """
     host_columns = sum(count for cmd, count in map(as_run, trace)
                        if cmd.kind.is_column and cmd.tag in HOST_TAGS)
-    controller = MemoryController(timing=timing, num_channels=16,
-                                  enable_refresh=enable_refresh)
+    controller = MemoryController(
+        timing=timing, num_channels=config.memory.num_pseudo_channels,
+        banks_per_channel=config.memory.banks_per_channel,
+        enable_refresh=enable_refresh)
     with obs.span("price_trace", cat="dram", entries=len(trace)):
         result = controller.run(trace, with_energy=with_energy,
                                 host_column_traffic=host_columns)
     if with_energy and result.energy is not None:
-        # The trace covers one representative channel; every channel of
-        # the cube runs the same schedule, so command/background energy
-        # scales by the channel count. ALU work is charged once for the
-        # whole system (it is already a global operation count).
-        channels = 16 * config.num_cubes
+        # Representative model: the trace covers one channel and every
+        # channel of the cube runs the same schedule, so command and
+        # background energy scale by the channel count. Sharded model:
+        # the trace already spans all modelled channels, so only the cube
+        # count multiplies. ALU work is charged once for the whole system
+        # (it is already a global operation count).
+        if channels is None:
+            scale = config.memory.num_pseudo_channels * config.num_cubes
+        else:
+            scale = config.num_cubes
         e = result.energy
-        e.activation_pj *= channels
-        e.read_pj *= channels
-        e.write_pj *= channels
-        e.external_pj *= channels
-        e.refresh_pj *= channels
-        e.background_pj *= channels
+        e.activation_pj *= scale
+        e.read_pj *= scale
+        e.write_pj *= scale
+        e.external_pj *= scale
+        e.refresh_pj *= scale
+        e.background_pj *= scale
         if alu_operations:
             from ..dram import EnergyModel
             EnergyModel(timing=timing).add_alu(e, alu_operations,
@@ -97,28 +114,35 @@ def time_spmv(execution: SpmvExecution, config: SystemConfig,
               mode: str = "ab", params: TraceParams = TraceParams(),
               with_energy: bool = False) -> PerfReport:
     """Price one SpMV in all-bank (``"ab"``) or per-bank (``"pb"``) mode."""
-    if mode == "ab":
-        trace = spmv_ab_trace(execution, config, params)
-    elif mode == "pb":
-        trace = spmv_pb_trace(execution, config, params)
-    else:
+    if mode not in ("ab", "pb"):
         raise ExecutionError(f"unknown PIM mode {mode!r}")
+    if execution.num_channels is not None:
+        trace = spmv_channels_trace(execution, config, params, mode=mode)
+    elif mode == "ab":
+        trace = spmv_ab_trace(execution, config, params)
+    else:
+        trace = spmv_pb_trace(execution, config, params)
     # one multiply + one accumulate per element, on every bank it touches
     alu_ops = 2 * execution.total_elements
     return price_trace(trace, config, with_energy=with_energy,
                        alu_operations=alu_ops,
-                       precision=execution.precision)
+                       precision=execution.precision,
+                       channels=execution.num_channels)
 
 
 def time_sptrsv(execution: SpTrsvExecution, config: SystemConfig,
                 params: TraceParams = TraceParams(),
                 with_energy: bool = False) -> PerfReport:
     """Price one triangular solve (leaf levels + recursive updates)."""
-    trace = sptrsv_ab_trace(execution, config, params)
+    if execution.num_channels is not None:
+        trace = sptrsv_channels_trace(execution, config, params)
+    else:
+        trace = sptrsv_ab_trace(execution, config, params)
     alu_ops = 2 * execution.total_elements
     return price_trace(trace, config, with_energy=with_energy,
                        alu_operations=alu_ops,
-                       precision=execution.precision)
+                       precision=execution.precision,
+                       channels=execution.num_channels)
 
 
 def time_dense_kernel(elements: int, reads_per_group: int,

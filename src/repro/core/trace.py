@@ -100,17 +100,18 @@ class _RowCursor:
 
 
 def _column(all_bank: bool, write: bool, row: int, col: int = 0,
-            bank: int = 0, tag: str = None) -> Command:
+            bank: int = 0, tag: str = None, channel: int = 0) -> Command:
     if all_bank:
         kind = CommandType.WR_AB if write else CommandType.RD_AB
     else:
         kind = CommandType.WR if write else CommandType.RD
-    return Command(kind, bank=bank, row=row, col=col % 64, tag=tag)
+    return Command(kind, bank=bank, row=row, col=col % 64, tag=tag,
+                   channel=channel)
 
 
 def _column_run(all_bank: bool, write: bool, row: int, count: int,
                 col: int = 0, bank: int = 0,
-                tag: str = None) -> List[TraceEntry]:
+                tag: str = None, channel: int = 0) -> List[TraceEntry]:
     """*count* consecutive column beats as one run (closed-form pricing).
 
     The scheduler never reads ``col`` when computing issue cycles, so the
@@ -119,43 +120,50 @@ def _column_run(all_bank: bool, write: bool, row: int, count: int,
     """
     if count <= 0:
         return []
-    command = _column(all_bank, write, row, col, bank=bank, tag=tag)
+    command = _column(all_bank, write, row, col, bank=bank, tag=tag,
+                      channel=channel)
     return [command] if count == 1 else [CommandRun(command, count)]
 
 
 # ----------------------------------------------------------------------
 # building blocks
 # ----------------------------------------------------------------------
-def mode_switch() -> List[Command]:
-    return [Command(CommandType.MODE)]
+def mode_switch(channel: int = 0) -> List[Command]:
+    return [Command(CommandType.MODE, channel=channel)]
 
 
-def program_load(params: TraceParams) -> List[TraceEntry]:
+def program_load(params: TraceParams, channel: int = 0) -> List[TraceEntry]:
     """AB-mode write of the kernel into the control registers."""
-    trace: List[TraceEntry] = [Command(CommandType.ACT_AB, row=PROGRAM_ROW)]
+    trace: List[TraceEntry] = [Command(CommandType.ACT_AB, row=PROGRAM_ROW,
+                                       channel=channel)]
     words = _beats(params.program_instructions * 4)
-    trace += _column_run(True, True, PROGRAM_ROW, words, tag="program")
-    trace.append(Command(CommandType.PRE_AB))
+    trace += _column_run(True, True, PROGRAM_ROW, words, tag="program",
+                         channel=channel)
+    trace.append(Command(CommandType.PRE_AB, channel=channel))
     return trace
 
 
 def host_stage(bytes_per_bank: float, write: bool, row: int,
-               tag: str) -> List[TraceEntry]:
-    """SB-mode host traffic: stage/collect one region on all 16 banks."""
+               tag: str, channel: int = 0,
+               banks: int = 16) -> List[TraceEntry]:
+    """SB-mode host traffic: stage/collect one region on a channel's banks."""
     trace: List[TraceEntry] = []
     beats = _beats(bytes_per_bank)
     if beats == 0:
         return trace
-    for bank in range(16):
-        trace.append(Command(CommandType.ACT, bank=bank, row=row))
-        trace += _column_run(False, write, row, beats, bank=bank, tag=tag)
-        trace.append(Command(CommandType.PRE, bank=bank))
+    for bank in range(banks):
+        trace.append(Command(CommandType.ACT, bank=bank, row=row,
+                             channel=channel))
+        trace += _column_run(False, write, row, beats, bank=bank, tag=tag,
+                             channel=channel)
+        trace.append(Command(CommandType.PRE, bank=bank, channel=channel))
     return trace
 
 
 def _kernel_batches(batches: int, batch_elems: int, eb: float,
                     params: TraceParams, all_bank: bool,
-                    bank: int = 0, y_bytes: int = 1024) -> List[TraceEntry]:
+                    bank: int = 0, y_bytes: int = 1024,
+                    channel: int = 0) -> List[TraceEntry]:
     """The AB-PIM (or PB) phase schedule for one tile stream.
 
     Per queue batch: stream the COO elements from the matrix rows, then
@@ -166,7 +174,7 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
     amortising output row visits over many batches.
     """
     trace: List[TraceEntry] = []
-    cursor = _RowCursor(all_bank, bank=bank)
+    cursor = _RowCursor(all_bank, bank=bank, channel=channel)
     mat_bytes_done = 0
     gather_beats = max(1, round(batch_elems / params.gather_locality))
     y_beats_total = _beats(y_bytes)
@@ -184,22 +192,24 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
             trace += cursor.open_row(mat_row)
             trace += _column_run(all_bank, False, mat_row, n,
                                  col=(mat_bytes_done % 1024) // BEAT_BYTES,
-                                 bank=bank, tag="matrix")
+                                 bank=bank, tag="matrix", channel=channel)
             mat_bytes_done += n * BEAT_BYTES
             beats_left -= n
         # phase 2: gather x[col] from the open input row
         trace += cursor.open_row(INPUT_ROW)
         trace += _column_run(all_bank, False, INPUT_ROW, gather_beats,
-                             bank=bank, tag="gather")
+                             bank=bank, tag="gather", channel=channel)
         # phase 3: flush output windows that advanced past this batch
         flush_debt += flush_per_batch
         if flush_debt >= 1.0:
             trace += cursor.open_row(OUTPUT_ROW)
             while flush_debt >= 1.0 and flushed < y_beats_total:
                 trace.append(_column(all_bank, False, OUTPUT_ROW, flushed,
-                                     bank=bank, tag="scatter"))
+                                     bank=bank, tag="scatter",
+                                     channel=channel))
                 trace.append(_column(all_bank, True, OUTPUT_ROW, flushed,
-                                     bank=bank, tag="scatter"))
+                                     bank=bank, tag="scatter",
+                                     channel=channel))
                 flush_debt -= 1.0
                 flushed += 1
     # final window flush
@@ -207,9 +217,9 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
         trace += cursor.open_row(OUTPUT_ROW)
         while flushed < y_beats_total:
             trace.append(_column(all_bank, False, OUTPUT_ROW, flushed,
-                                 bank=bank, tag="scatter"))
+                                 bank=bank, tag="scatter", channel=channel))
             trace.append(_column(all_bank, True, OUTPUT_ROW, flushed,
-                                 bank=bank, tag="scatter"))
+                                 bank=bank, tag="scatter", channel=channel))
             flushed += 1
     trace += cursor.close()
     return trace
@@ -219,8 +229,15 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
 # SpMV traces
 # ----------------------------------------------------------------------
 def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
-                  params: TraceParams = TraceParams()) -> List[TraceEntry]:
-    """All-bank pSyncPIM schedule of one SpMV on one channel."""
+                  params: TraceParams = TraceParams(),
+                  channel: int = 0,
+                  banks: int = 16) -> List[TraceEntry]:
+    """All-bank pSyncPIM schedule of one SpMV on one channel.
+
+    *channel* stamps every command so channel-sharded executions can
+    concatenate per-channel streams into one trace; the default 0 is the
+    representative-channel model.
+    """
     vb = element_size(execution.precision)
     eb = execution.stream_bytes_per_element
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
@@ -228,25 +245,30 @@ def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
     for r, round_elems in enumerate(execution.round_batches):
         # host stages this round's input segments (SB mode, external bus)
         trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
-                            row=INPUT_ROW, tag="stage_x")
+                            row=INPUT_ROW, tag="stage_x", channel=channel,
+                            banks=banks)
         # SB -> AB: program; AB -> AB-PIM: execute
-        trace += mode_switch()
-        trace += program_load(params)
-        trace += mode_switch()
+        trace += mode_switch(channel)
+        trace += program_load(params, channel=channel)
+        trace += mode_switch(channel)
         phase = rf_batch * params.queue_phases
         batches = max(1, math.ceil(round_elems / phase))
         trace += _kernel_batches(batches, phase, eb, params,
                                  all_bank=True,
-                                 y_bytes=execution.round_y_lengths[r] * vb)
-        trace += mode_switch()  # AB-PIM -> SB
+                                 y_bytes=execution.round_y_lengths[r] * vb,
+                                 channel=channel)
+        trace += mode_switch(channel)  # AB-PIM -> SB
         # host merges the round's output partials (remote accumulation)
         trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
-                            row=OUTPUT_ROW, tag="merge_y")
+                            row=OUTPUT_ROW, tag="merge_y", channel=channel,
+                            banks=banks)
     return trace
 
 
 def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
-                  params: TraceParams = TraceParams()) -> List[TraceEntry]:
+                  params: TraceParams = TraceParams(),
+                  channel: int = 0,
+                  banks: int = 16) -> List[TraceEntry]:
     """Per-bank schedule: the host drives each bank's kernel separately.
 
     Staging traffic is identical to AB mode; the kernel phase is replayed
@@ -261,20 +283,46 @@ def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
     trace: List[TraceEntry] = []
     for r in range(rounds):
         trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
-                            row=INPUT_ROW, tag="stage_x")
+                            row=INPUT_ROW, tag="stage_x", channel=channel,
+                            banks=banks)
         for bank, elements in enumerate(per_bank):
             share = elements / rounds
             if share <= 0:
                 continue
-            trace += mode_switch()  # per-bank kernel arm
+            trace += mode_switch(channel)  # per-bank kernel arm
             phase = rf_batch * params.queue_phases
             batches = max(1, math.ceil(share / phase))
             trace += _kernel_batches(
                 batches, phase, eb, params, all_bank=False, bank=bank,
-                y_bytes=execution.round_y_lengths[r] * vb)
-        trace += mode_switch()
+                y_bytes=execution.round_y_lengths[r] * vb, channel=channel)
+        trace += mode_switch(channel)
         trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
-                            row=OUTPUT_ROW, tag="merge_y")
+                            row=OUTPUT_ROW, tag="merge_y", channel=channel,
+                            banks=banks)
+    return trace
+
+
+def spmv_channels_trace(execution: SpmvExecution, config: SystemConfig,
+                        params: TraceParams = TraceParams(),
+                        mode: str = "ab") -> List[TraceEntry]:
+    """Concatenated per-channel streams of a channel-sharded SpMV.
+
+    Each shard's sub-execution is synthesised with its channel id stamped
+    on every command; the scheduler routes them to independent per-channel
+    clocks, so total time is the max over channels, not the sum. Shards
+    with no elements emit nothing (an idle channel issues no commands).
+    """
+    if not execution.channel_execs:
+        raise MappingError(
+            "spmv_channels_trace needs a channel-sharded execution "
+            "(plan_spmv(..., channels=C))")
+    synth = spmv_ab_trace if mode == "ab" else spmv_pb_trace
+    trace: List[TraceEntry] = []
+    for ch, sub in enumerate(execution.channel_execs):
+        if sub.total_elements == 0:
+            continue
+        trace += synth(sub, config, params, channel=ch,
+                       banks=execution.banks_per_channel)
     return trace
 
 
@@ -303,28 +351,40 @@ def _queue_batch(precision: str, subqueue_bytes: int = 64) -> int:
 # SpTRSV trace
 # ----------------------------------------------------------------------
 def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
-                    params: TraceParams = TraceParams()) -> List[TraceEntry]:
-    """The §VI-C flow: per level, SB reads -> broadcast -> AB-PIM kernel."""
+                    params: TraceParams = TraceParams(),
+                    channel: int = 0,
+                    host_channels: Optional[int] = None) -> List[TraceEntry]:
+    """The §VI-C flow: per level, SB reads -> broadcast -> AB-PIM kernel.
+
+    ``host_channels`` is how many channels share the host-side read of the
+    solved values (the external bus serves them concurrently); the
+    representative-channel default assumes every platform channel
+    participates symmetrically.
+    """
     vb = element_size(execution.precision)
     eb = element_bytes(execution.precision)
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    num_channels = 16 * config.num_cubes
+    if host_channels is None:
+        host_channels = config.memory.num_pseudo_channels
+    num_channels = host_channels * config.num_cubes
     trace: List[TraceEntry] = []
     for level in range(execution.num_levels):
         width = execution.level_widths[level]
         batch_elems = execution.level_batches[level]
         # 1) SB mode: read the solved values of this level's columns
         trace += host_stage(max(1.0, width * vb / num_channels),
-                            write=False, row=OUTPUT_ROW, tag="read_b")
+                            write=False, row=OUTPUT_ROW, tag="read_b",
+                            channel=channel)
         # 2) AB mode: broadcast them + program the kernel
-        trace += mode_switch()
-        trace.append(Command(CommandType.ACT_AB, row=INPUT_ROW))
+        trace += mode_switch(channel)
+        trace.append(Command(CommandType.ACT_AB, row=INPUT_ROW,
+                             channel=channel))
         trace += _column_run(True, True, INPUT_ROW, _beats(width * vb),
-                             tag="broadcast")
-        trace.append(Command(CommandType.PRE_AB))
-        trace += program_load(params)
+                             tag="broadcast", channel=channel)
+        trace.append(Command(CommandType.PRE_AB, channel=channel))
+        trace += program_load(params, channel=channel)
         # 3) AB-PIM: the scalar-multiply level kernel (Algorithm 3)
-        trace += mode_switch()
+        trace += mode_switch(channel)
         if batch_elems > 0:
             phase = rf_batch * params.queue_phases
             batches = max(1, math.ceil(batch_elems / phase))
@@ -332,11 +392,33 @@ def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
             y_bytes = min(min(execution.leaf_size, execution.n),
                           batch_elems) * vb
             trace += _kernel_batches(batches, phase, eb, params,
-                                     all_bank=True, y_bytes=y_bytes)
-        trace += mode_switch()  # back to SB for the next level
+                                     all_bank=True, y_bytes=y_bytes,
+                                     channel=channel)
+        trace += mode_switch(channel)  # back to SB for the next level
     # the recursive off-diagonal updates are ordinary SpMVs
     for update in execution.update_execs:
-        trace += spmv_ab_trace(update, config, params)
+        trace += spmv_ab_trace(update, config, params, channel=channel)
+    return trace
+
+
+def sptrsv_channels_trace(execution: SpTrsvExecution, config: SystemConfig,
+                          params: TraceParams = TraceParams(),
+                          ) -> List[TraceEntry]:
+    """Concatenated per-channel streams of a channel-sharded SpTRSV.
+
+    Every channel walks the same level schedule in lock step (the solved
+    values must be broadcast device-wide before the next level — the
+    explicit inter-channel reduction seam), so no shard is skipped: an
+    idle channel still pays the broadcast and mode traffic of each level.
+    """
+    if not execution.channel_execs:
+        raise MappingError(
+            "sptrsv_channels_trace needs a channel-sharded execution "
+            "(run_sptrsv(..., channels=C))")
+    trace: List[TraceEntry] = []
+    for ch, sub in enumerate(execution.channel_execs):
+        trace += sptrsv_ab_trace(sub, config, params, channel=ch,
+                                 host_channels=execution.num_channels)
     return trace
 
 

@@ -41,10 +41,14 @@ class ChannelScheduler:
     def __init__(self, timing: TimingParams,
                  enable_refresh: bool = True,
                  validate_protocol: bool = False,
-                 channel: int = 0) -> None:
+                 channel: int = 0,
+                 banks_per_channel: int = BANKS_PER_CHANNEL) -> None:
         self.timing = timing.validate()
         self.enable_refresh = enable_refresh
         self._channel = channel
+        if banks_per_channel <= 0:
+            raise TimingError("need at least one bank per channel")
+        self.banks_per_channel = banks_per_channel
         if validate_protocol:
             # Deferred import: repro.check depends on repro.dram types.
             from ..check.protocol import ProtocolChecker
@@ -52,7 +56,7 @@ class ChannelScheduler:
         else:
             self._checker = None
         self.banks: List[BankState] = [BankState(timing)
-                                       for _ in range(BANKS_PER_CHANNEL)]
+                                       for _ in range(banks_per_channel)]
         self._row_bus_free = 0
         self._col_bus_free = 0
         # Column-command history for CCD spacing and bus turnaround.
@@ -340,6 +344,6 @@ class ChannelScheduler:
 
     # ------------------------------------------------------------------
     def _bank(self, index: int) -> BankState:
-        if not 0 <= index < BANKS_PER_CHANNEL:
+        if not 0 <= index < self.banks_per_channel:
             raise TimingError(f"bank index {index} outside channel")
         return self.banks[index]

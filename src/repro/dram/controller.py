@@ -38,6 +38,10 @@ class ScheduleResult:
     #: Protocol violations found by the opt-in independent checker
     #: (``validate_protocol=True``); always empty otherwise.
     violations: list = field(default_factory=list)
+    #: Per-channel scheduler summaries (cycles, command mix, row
+    #: hits/misses, refreshes), keyed by channel id.
+    per_channel_stats: Dict[int, Dict[str, int]] = field(
+        default_factory=dict)
 
     def seconds(self, timing: TimingParams) -> float:
         """Schedule length in seconds."""
@@ -91,11 +95,15 @@ class MemoryController:
                  num_channels: int = 16,
                  enable_refresh: bool = True,
                  energy_params: Optional[EnergyParams] = None,
-                 validate_protocol: bool = False) -> None:
+                 validate_protocol: bool = False,
+                 banks_per_channel: int = BANKS_PER_CHANNEL) -> None:
         if num_channels <= 0:
             raise TimingError("need at least one channel")
+        if banks_per_channel <= 0:
+            raise TimingError("need at least one bank per channel")
         self.timing = timing
         self.num_channels = num_channels
+        self.banks_per_channel = banks_per_channel
         self.enable_refresh = enable_refresh
         self.validate_protocol = validate_protocol
         self._energy_model = EnergyModel(energy_params or EnergyParams(),
@@ -129,7 +137,7 @@ class MemoryController:
                 raise TimingError(
                     f"command channel {command.channel} exceeds "
                     f"{self.num_channels} channels")
-            if command.bank >= BANKS_PER_CHANNEL:
+            if command.bank >= self.banks_per_channel:
                 raise TimingError(
                     f"bank {command.bank} outside the channel")
             sched = channels.get(command.channel)
@@ -137,7 +145,8 @@ class MemoryController:
                 sched = ChannelScheduler(
                     self.timing, self.enable_refresh,
                     validate_protocol=self.validate_protocol,
-                    channel=command.channel)
+                    channel=command.channel,
+                    banks_per_channel=self.banks_per_channel)
                 channels[command.channel] = sched
             if count == 1:
                 first = last = sched.issue(command)
@@ -160,14 +169,17 @@ class MemoryController:
         counts[CommandType.REF] += refreshes
         violations = [v for ch in sorted(channels)
                       for v in channels[ch].protocol_violations]
+        per_channel_stats = {ch: channels[ch].stats()
+                             for ch in sorted(channels)}
         result = ScheduleResult(total_cycles=total_cycles,
                                 per_channel_cycles=per_channel,
                                 counts=counts, command_total=total,
                                 refreshes=refreshes, tag_cycles=tag_cycles,
-                                violations=violations)
+                                violations=violations,
+                                per_channel_stats=per_channel_stats)
         if with_energy:
             report = self._energy_model.command_energy(
-                counts, banks_per_channel=BANKS_PER_CHANNEL,
+                counts, banks_per_channel=self.banks_per_channel,
                 host_column_traffic=host_column_traffic)
             self._energy_model.add_background(
                 report, total_cycles,
@@ -192,6 +204,36 @@ class MemoryController:
         obs.add_counter("dram.row_misses", result.row_misses)
         for tag, cycles in result.tag_cycles.items():
             obs.add_counter(f"dram.tag_cycles.{tag}", cycles)
+        if result.per_channel_stats:
+            width = max(result.per_channel_stats) + 1
+
+            def series(metric) -> list:
+                values = [0] * width
+                for ch, stats in result.per_channel_stats.items():
+                    values[ch] = metric(stats)
+                return values
+
+            # Busy = cycles carrying a column command (data-bus work);
+            # idle = this channel's slack against the schedule's critical
+            # path — the lock-step cost of channel imbalance.
+            obs.add_bank_counter("channel.busy",
+                                 series(lambda s: s["column_commands"]))
+            obs.add_bank_counter(
+                "channel.idle",
+                series(lambda s: max(
+                    result.total_cycles - s["column_commands"], 0)))
+            obs.add_bank_counter("channel.cycles",
+                                 series(lambda s: s["cycles"]))
+            obs.add_bank_counter("channel.commands",
+                                 series(lambda s: s["commands"]))
+            obs.add_bank_counter("channel.columns",
+                                 series(lambda s: s["column_commands"]))
+            obs.add_bank_counter("channel.row_hits",
+                                 series(lambda s: s["row_hits"]))
+            obs.add_bank_counter("channel.row_misses",
+                                 series(lambda s: s["row_misses"]))
+            obs.add_bank_counter("channel.refreshes",
+                                 series(lambda s: s["refreshes"]))
 
 
 def count_commands(trace: Iterable[TraceEntry]) -> Dict[CommandType, int]:

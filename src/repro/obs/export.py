@@ -94,7 +94,10 @@ def chrome_trace(recorder: Recorder) -> Dict[str, Any]:
     end_ts = max((e.start_ns + e.dur_ns for e in recorder.events),
                  default=0) / 1000.0
     for name, arr in recorder.bank_counters.items():
-        series = {f"bank{idx}": float(val)
+        # Per-channel arrays (channel.*) get their own series prefix so
+        # channel tracks are distinguishable from per-bank tracks.
+        prefix = "ch" if name.startswith("channel.") else "bank"
+        series = {f"{prefix}{idx}": float(val)
                   for idx, val in enumerate(arr[:MAX_BANK_SERIES])}
         if arr.size > MAX_BANK_SERIES:
             series["rest"] = float(arr[MAX_BANK_SERIES:].sum())

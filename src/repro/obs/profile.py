@@ -7,6 +7,9 @@ the tables the paper's evaluation sections reason with:
   engine rounds, sweep jobs), with call counts, totals and self time;
 * **per-bank** — busy vs idle beats per processing-unit lane, the
   bank-utilisation view behind Fig. 12's breakdown argument;
+* **per-channel** — scheduled cycles and command mix per pseudo-channel
+  when the run used channel-sharded execution, exposing the channel
+  imbalance behind the max-over-channels critical path;
 * **DRAM** — command mix, row-buffer hit/miss and the per-tag cycle
   attribution of the scheduled traces;
 * **energy** — the pJ breakdown by source when energy pricing ran.
@@ -33,6 +36,9 @@ def render_profile(metrics: Dict[str, Any],
     banks = _render_banks(metrics.get("bank_counters", {}), max_banks)
     if banks:
         sections.append(banks)
+    channels = _render_channels(metrics.get("bank_counters", {}))
+    if channels:
+        sections.append(channels)
     dram = _render_dram(metrics.get("counters", {}))
     if dram:
         sections.append(dram)
@@ -96,6 +102,37 @@ def _render_banks(bank_counters: Dict[str, List[float]],
              f"utilisation {util:.1f}%)")
     return format_table(["bank", "busy beats", "idle beats", "util %"],
                         rows, title=title)
+
+
+def _render_channels(bank_counters: Dict[str, List[float]]) -> str:
+    busy = bank_counters.get("channel.busy")
+    if not busy:
+        return ""
+
+    def series(name: str) -> List[float]:
+        values = bank_counters.get(name) or []
+        return list(values) + [0.0] * (len(busy) - len(values))
+
+    idle = series("channel.idle")
+    commands = series("channel.commands")
+    columns = series("channel.columns")
+    refreshes = series("channel.refreshes")
+    rows: List[List[Any]] = []
+    for ch, b in enumerate(busy):
+        i = idle[ch]
+        util = 100.0 * b / (b + i) if b + i else 0.0
+        rows.append([f"ch {ch}", int(b), int(i), f"{util:.1f}",
+                     int(commands[ch]), int(columns[ch]),
+                     int(refreshes[ch])])
+    total_busy = sum(busy)
+    total_all = total_busy + sum(idle)
+    util = 100.0 * total_busy / total_all if total_all else 0.0
+    active = sum(1 for b in busy if b)
+    title = (f"per-channel schedule ({active}/{len(busy)} channels "
+             f"active, busy share {util:.1f}%)")
+    return format_table(["channel", "busy cyc", "idle cyc", "busy %",
+                         "commands", "columns", "refreshes"], rows,
+                        title=title)
 
 
 def _render_dram(counters: Dict[str, float]) -> str:

@@ -50,7 +50,10 @@ CACHE_DIR_ENV = "PSYNCPIM_CACHE_DIR"
 #: v4: files carry a magic + SHA-256 integrity header; pre-v4 headerless
 #: pickles would fail the check anyway, but the bump keeps them from
 #: accumulating as permanent misses under live keys.
-CACHE_VERSION = 4
+#: v5: executions gained channel-sharding fields (num_channels,
+#: channel_execs) and sweep keys a channels component; pre-v5 pickles
+#: lack the new dataclass fields.
+CACHE_VERSION = 5
 
 #: On-disk artifact header: magic, then the SHA-256 of the payload.
 _MAGIC = b"PSPC1\n"

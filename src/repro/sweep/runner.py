@@ -30,12 +30,13 @@ import numpy as np
 from ..analysis.report import JobRecord, SweepResult
 from .. import obs
 from ..config import (SystemConfig, default_system, gddr6_aim_system,
-                      resolve_batch)
+                      resolve_batch, resolve_channels)
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
 from ..core.timing import PerfReport, price_trace
-from ..core.trace import (TraceParams, spmv_ab_trace, spmv_pb_trace,
-                          sptrsv_ab_trace)
+from ..core.trace import (TraceParams, spmv_ab_trace, spmv_channels_trace,
+                          spmv_pb_trace, sptrsv_ab_trace,
+                          sptrsv_channels_trace)
 from ..errors import ExecutionError
 from ..formats import (COOMatrix, generate, matrix_spec,
                        read_matrix_market, suite_names)
@@ -116,6 +117,9 @@ class SweepJob:
     lower: bool = True              # SpTRSV: which triangular factor
     seed: int = 0
     with_energy: bool = False
+    #: Channel-sharded execution width (None = representative channel;
+    #: resolved through :func:`repro.config.resolve_channels`).
+    channels: Optional[int] = None
     label: str = ""
 
     def resolved_label(self) -> str:
@@ -133,6 +137,8 @@ class SweepJob:
             parts.append(f"x{self.num_cubes}")
         if self.platform != "hbm2":
             parts.append(self.platform)
+        if self.channels is not None:
+            parts.append(f"{self.channels}ch")
         return "/".join(parts)
 
     def system(self) -> SystemConfig:
@@ -158,32 +164,40 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
     config = job.system()
     params = TraceParams()
     mkey = matrix_digest(matrix)
+    channels = resolve_channels(job.channels)
 
     plan_key = cache.key("spmv-plan", mkey, config, job.precision,
-                         job.compress, job.policy)
+                         job.compress, job.policy, channels)
     plan, assignment = cache.get_or_compute(
         "plan", plan_key,
         lambda: plan_spmv(matrix, config, precision=job.precision,
                           compress=job.compress, policy=job.policy,
                           matrix_format=job.matrix_format,
-                          validate=False)[:2])
+                          validate=False, channels=channels)[:2])
     _, _, execution = plan_spmv(matrix, config, precision=job.precision,
                                 compress=job.compress, policy=job.policy,
                                 matrix_format=job.matrix_format,
                                 plan=plan, assignment=assignment,
-                                validate=False)
+                                validate=False, channels=channels)
 
     trace_key = cache.key("spmv-trace", execution, config, params, job.mode)
     schedule_key = cache.key("spmv-schedule", trace_key, job.with_energy)
 
     def compute_report() -> PerfReport:
-        synthesise = (spmv_ab_trace if job.mode == "ab" else spmv_pb_trace)
+        if execution.num_channels is not None:
+            def synthesise(execution, config, params):
+                return spmv_channels_trace(execution, config, params,
+                                           mode=job.mode)
+        else:
+            synthesise = (spmv_ab_trace if job.mode == "ab"
+                          else spmv_pb_trace)
         trace = cache.get_or_compute(
             "trace", trace_key,
             lambda: synthesise(execution, config, params))
         return price_trace(trace, config, with_energy=job.with_energy,
                            alu_operations=2 * execution.total_elements,
-                           precision=job.precision)
+                           precision=job.precision,
+                           channels=execution.num_channels)
 
     report = cache.get_or_compute("schedule", schedule_key, compute_report)
     extras = {
@@ -195,6 +209,8 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
         "banks_used": execution.banks_used,
         "imbalance": execution.imbalance,
     }
+    if channels is not None:
+        extras["channels"] = channels
     return report, extras
 
 
@@ -211,13 +227,14 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
     tri = factors.lower if job.lower else factors.upper
     n = tri.shape[0]
     b = np.random.default_rng(job.seed).random(n)
+    channels = resolve_channels(job.channels)
 
     solve_key = cache.key("sptrsv-solve", mkey, job.lower, config,
-                          job.precision, job.seed)
+                          job.precision, job.seed, channels)
 
     def compute_solve():
         result = run_sptrsv(tri, b, config, lower=job.lower,
-                            precision=job.precision)
+                            precision=job.precision, channels=channels)
         levels = len(level_schedule(tri, lower=job.lower))
         return result.execution, result.x, levels
 
@@ -229,12 +246,17 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
     schedule_key = cache.key("sptrsv-schedule", trace_key, job.with_energy)
 
     def compute_report() -> PerfReport:
-        trace = cache.get_or_compute(
-            "trace", trace_key,
-            lambda: sptrsv_ab_trace(execution, config, params))
+        if execution.num_channels is not None:
+            def synthesise():
+                return sptrsv_channels_trace(execution, config, params)
+        else:
+            def synthesise():
+                return sptrsv_ab_trace(execution, config, params)
+        trace = cache.get_or_compute("trace", trace_key, synthesise)
         return price_trace(trace, config, with_energy=job.with_energy,
                            alu_operations=2 * execution.total_elements,
-                           precision=job.precision)
+                           precision=job.precision,
+                           channels=execution.num_channels)
 
     report = cache.get_or_compute("schedule", schedule_key, compute_report)
     extras = {
@@ -244,6 +266,8 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
         "residual": residual,
         "factor": "lower" if job.lower else "upper",
     }
+    if channels is not None:
+        extras["channels"] = channels
     return report, extras
 
 
@@ -381,7 +405,7 @@ def _batch_key(job: SweepJob) -> tuple:
     """
     return (job.kernel, job.scale, job.precision, job.num_cubes,
             job.platform, job.mode, job.compress, job.policy,
-            job.matrix_format, job.with_energy)
+            job.matrix_format, job.with_energy, job.channels)
 
 
 def _batch_groups(jobs: Sequence[SweepJob]) -> "list[list[int]]":

@@ -2,8 +2,8 @@
 """Perf-trend gate: compare fresh BENCH_*.json against committed baselines.
 
 The perf microbenchmarks (``test_perf_engine.py``, ``test_perf_plan.py``,
-``test_perf_fuzz.py``, ``test_perf_channels.py``) each write a
-``benchmarks/results/BENCH_*.json``
+``test_perf_fuzz.py``, ``test_perf_channels.py``,
+``test_perf_partition.py``) each write a ``benchmarks/results/BENCH_*.json``
 with a ``speedups`` section. Those speedups are *ratios* between two
 implementations measured on the same machine in the same run, so they
 transfer across hardware in a way absolute times never do — that is what
@@ -23,7 +23,7 @@ Re-baselining (after a deliberate perf change)::
 
     PSYNCPIM_SCALE=0.02 python -m pytest benchmarks/test_perf_engine.py \
         benchmarks/test_perf_plan.py benchmarks/test_perf_fuzz.py \
-        benchmarks/test_perf_channels.py
+        benchmarks/test_perf_channels.py benchmarks/test_perf_partition.py
     python benchmarks/check_trend.py --update
     git add benchmarks/results/baselines/
 
@@ -55,6 +55,7 @@ PINNED = {
                         "level_schedule", "combined"),
     "BENCH_fuzz.json": ("execution",),
     "BENCH_channels.json": ("channels_16v1", "channels_4v1"),
+    "BENCH_partition.json": ("auto_vs_paper",),
 }
 
 

@@ -9,6 +9,9 @@ Four subcommands cover the common workflows without writing Python:
 * ``app``    — run one Table II application on the GPU and PIM backends.
 * ``sweep``  — run a batch of jobs across worker processes with
   content-addressed artifact caching (see :mod:`repro.sweep`).
+* ``tune``   — score every partitioning strategy per matrix and print
+  the win/loss table vs the paper's row-cut scheme (see
+  :mod:`repro.core.strategies`).
 * ``profile`` — render an observability run (``PSYNCPIM_OBS=1``) as
   per-phase / per-bank / DRAM / energy tables (see :mod:`repro.obs`).
 * ``check``  — run the independent verification oracles: golden-trace
@@ -33,7 +36,7 @@ import numpy as np
 from . import __version__, obs
 from .analysis import format_table, table_x_model, unit_area
 from .baselines import GPUModel, SpaceAModel
-from .config import default_system
+from .config import STRATEGY_CHOICES, default_system
 from .core import PSyncPIM, time_spmv
 from .dram import TimingParams
 from .errors import ReproError
@@ -102,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="shard across N explicitly modelled channels "
                            "(default: PSYNCPIM_CHANNELS or the "
                            "representative-channel model)")
+    spmv.add_argument("--strategy", default=None,
+                      choices=list(STRATEGY_CHOICES),
+                      help="partitioning strategy (default: "
+                           "PSYNCPIM_STRATEGY or paper; auto = tune per "
+                           "matrix)")
     spmv.add_argument("--no-compress", action="store_true",
                       help="disable the Fig. 6 matrix compression")
     spmv.set_defaults(handler=_cmd_spmv)
@@ -114,6 +122,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="shard across N explicitly modelled channels "
                              "(default: PSYNCPIM_CHANNELS or the "
                              "representative-channel model)")
+    sptrsv.add_argument("--strategy", default=None,
+                        choices=list(STRATEGY_CHOICES),
+                        help="partitioning strategy for the update SpMVs "
+                             "(default: PSYNCPIM_STRATEGY or paper)")
     sptrsv.set_defaults(handler=_cmd_sptrsv)
 
     app = sub.add_parser("app", help="run a Table II application")
@@ -155,7 +167,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard across N explicitly modelled channels "
                             "(default: PSYNCPIM_CHANNELS or the "
                             "representative-channel model)")
+    sweep.add_argument("--strategy", default=None,
+                       choices=list(STRATEGY_CHOICES),
+                       help="partitioning strategy (default: "
+                            "PSYNCPIM_STRATEGY or paper; auto = tune per "
+                            "matrix)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    tune = sub.add_parser(
+        "tune", help="per-matrix strategy win/loss table vs the paper")
+    tune.add_argument("--matrices", default=None,
+                      help="comma-separated Table IX names (default: the "
+                           "SpMV Table IX assignment)")
+    tune.add_argument("--scale", type=float, default=None,
+                      help="dimension scale (default: PSYNCPIM_SCALE "
+                           "or 0.05)")
+    tune.add_argument("--precision", default="fp64",
+                      choices=["fp64", "fp32", "int32", "int16", "int8"])
+    tune.add_argument("--mode", default="ab", choices=["ab", "pb"])
+    tune.add_argument("--channels", type=int, default=None,
+                      help="tune for the N-channel sharded layout "
+                           "(default: PSYNCPIM_CHANNELS or the "
+                           "representative-channel model)")
+    tune.set_defaults(handler=_cmd_tune)
 
     profile = sub.add_parser(
         "profile", help="render a PSYNCPIM_OBS run as profile tables")
@@ -256,7 +290,7 @@ def _cmd_suite(args) -> int:
 def _cmd_spmv(args) -> int:
     matrix = _load_matrix(args)
     pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision,
-                   channels=args.channels)
+                   channels=args.channels, strategy=args.strategy)
     x = np.random.default_rng(args.seed).random(matrix.shape[1])
     result = pim.spmv(matrix, x, compress=not args.no_compress,
                       precision=args.precision,
@@ -291,7 +325,8 @@ def _cmd_spmv(args) -> int:
 
 def _cmd_sptrsv(args) -> int:
     matrix = _load_matrix(args)
-    pim = PSyncPIM(num_cubes=args.cubes, channels=args.channels)
+    pim = PSyncPIM(num_cubes=args.cubes, channels=args.channels,
+                   strategy=args.strategy)
     factors = pim.factorize(matrix)
     b = np.random.default_rng(args.seed).random(matrix.shape[0])
     rows = []
@@ -317,7 +352,7 @@ def _cmd_sweep(args) -> int:
                       scale=args.scale, precision=args.precision,
                       num_cubes=args.cubes, platform=args.platform,
                       mode=args.mode, with_energy=args.energy,
-                      channels=args.channels)
+                      channels=args.channels, strategy=args.strategy)
     result = run_sweep(jobs, workers=args.workers,
                        cache_dir=args.cache_dir,
                        use_cache=not args.no_cache,
@@ -326,6 +361,63 @@ def _cmd_sweep(args) -> int:
     print(result.summary_table(
         title=f"sweep: {len(jobs)} {kernel} jobs over "
               f"{len(set(job.matrix for job in jobs))} matrices"))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core import (make_strategy, plan_spmv, strategy_names,
+                       time_spmv, tune_strategy)
+    from .formats import matrices_for
+    from .sweep import resolve_bench_scale
+    scale = resolve_bench_scale() if args.scale is None else args.scale
+    names = (matrices_for("spmv") if args.matrices is None
+             else [n.strip() for n in args.matrices.split(",")
+                   if n.strip()])
+    config = default_system()
+    strategies = list(strategy_names())
+    totals = {name: 0.0 for name in strategies + ["auto"]}
+    wins = {name: [0, 0, 0] for name in strategies[1:] + ["auto"]}
+    rows = []
+    start = time.perf_counter()
+    for mat_name in names:
+        matrix = generate(mat_name, scale=scale)
+        cycles = {}
+        for strat in strategies:
+            plan = make_strategy(strat).partition(
+                matrix, config, precision=args.precision, validate=False)
+            _, _, execution = plan_spmv(
+                matrix, config, precision=args.precision, plan=plan,
+                validate=False, channels=args.channels)
+            cycles[strat] = float(time_spmv(execution, config,
+                                            mode=args.mode).cycles)
+        tuned = tune_strategy(matrix, config, precision=args.precision,
+                              channels=args.channels, mode=args.mode)
+        cycles["auto"] = cycles[tuned.chosen]
+        for strat, tally in wins.items():
+            if cycles[strat] < cycles["paper"]:
+                tally[0] += 1
+            elif cycles[strat] == cycles["paper"]:
+                tally[1] += 1
+            else:
+                tally[2] += 1
+        for strat, value in cycles.items():
+            totals[strat] += value
+        rows.append([mat_name, matrix.nnz]
+                    + [f"{cycles[s]:.3g}" for s in strategies]
+                    + [tuned.chosen])
+    wall = time.perf_counter() - start
+    print(format_table(["matrix", "nnz"] + strategies + ["auto pick"],
+                       rows,
+                       title=f"modelled cycles per strategy "
+                             f"(scale {scale}, {args.mode} mode)"))
+    summary = [[strat, f"{tally[0]}/{tally[1]}/{tally[2]}",
+                f"{totals['paper'] / totals[strat]:.3f}x"]
+               for strat, tally in wins.items()]
+    print()
+    print(format_table(["strategy", "win/tie/loss vs paper",
+                        "aggregate speedup"], summary,
+                       title=f"suite aggregate over {len(names)} "
+                             f"matrices ({wall:.1f} s)"))
     return 0
 
 

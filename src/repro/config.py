@@ -105,6 +105,37 @@ def resolve_batch(explicit: Optional[str] = None) -> str:
     return name
 
 
+#: Environment variable selecting the partitioning strategy.
+STRATEGY_ENV = "PSYNCPIM_STRATEGY"
+
+#: Registered partitioning strategies (see :mod:`repro.core.strategies`):
+#: the paper's fixed row-cut scheme, three SparseP-style alternatives, and
+#: the cost-model auto-tuner that picks per matrix.
+STRATEGY_CHOICES = ("paper", "nnz-rows", "2d-grid", "nnz-2d", "auto")
+
+#: Strategy used when neither the caller nor the environment chooses one.
+#: The paper scheme stays the default so the unconfigured path remains
+#: bitwise identical to the pre-strategy-library behaviour.
+DEFAULT_STRATEGY = "paper"
+
+
+def resolve_strategy(explicit: Optional[str] = None) -> str:
+    """Resolve the partitioning strategy: explicit arg > env var > default.
+
+    Mirrors :func:`resolve_engine` for the partitioning front-end (see
+    :mod:`repro.core.strategies`). Unknown names raise
+    :class:`ConfigError` so typos fail loudly instead of silently
+    planning with a different layout.
+    """
+    name = explicit if explicit is not None \
+        else os.environ.get(STRATEGY_ENV, DEFAULT_STRATEGY)
+    name = name.strip().lower()
+    if name not in STRATEGY_CHOICES:
+        raise ConfigError(f"unknown strategy {name!r}; expected one of "
+                          f"{list(STRATEGY_CHOICES)}")
+    return name
+
+
 #: Environment variable selecting the channel-sharded execution width.
 CHANNELS_ENV = "PSYNCPIM_CHANNELS"
 
@@ -195,11 +226,21 @@ class HBM2Config:
     external_bandwidth: float = 256e9   # bytes/s to the host
     internal_bandwidth: float = 2e12    # bytes/s aggregated over banks
     capacity_bytes: int = 4 << 30
+    #: Pseudo-channels sharing one physical channel's CA bus (HBM2 splits
+    #: each 128-bit channel into two 64-bit pseudo-channels). Address
+    #: mappings with an explicit ``pc`` token size their ``ch`` field by
+    #: :attr:`num_physical_channels` and ``pc`` by this.
+    pseudo_channels_per_channel: int = 2
 
     @property
     def banks_per_channel(self) -> int:
         """Banks addressable by one pseudo-channel command (4 groups x 4)."""
         return self.num_bankgroups * self.banks_per_group
+
+    @property
+    def num_physical_channels(self) -> int:
+        """Physical channels: pseudo-channels / pseudo-channels-per-channel."""
+        return self.num_pseudo_channels // self.pseudo_channels_per_channel
 
     @property
     def total_banks(self) -> int:
@@ -220,9 +261,14 @@ class HBM2Config:
         """Check internal consistency; raise :class:`ConfigError` otherwise."""
         for name in ("num_bankgroups", "banks_per_group", "num_rows",
                      "num_columns", "column_bytes", "num_stacks",
-                     "num_pseudo_channels"):
+                     "num_pseudo_channels", "pseudo_channels_per_channel"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
+        if self.num_pseudo_channels % self.pseudo_channels_per_channel:
+            raise ConfigError(
+                f"{self.num_pseudo_channels} pseudo-channels do not split "
+                f"into physical channels of "
+                f"{self.pseudo_channels_per_channel}")
         if self.bank_bytes * self.total_banks != self.capacity_bytes:
             raise ConfigError(
                 "capacity mismatch: banks provide "

@@ -9,6 +9,9 @@ from .distribution import (Assignment, ChannelAssignment,
                            replication_traffic_bytes, shard_channels)
 from .spmv import (SpmvExecution, SpmvResult, element_bytes, plan_spmv,
                    run_spmv)
+from .strategies import (AutoStrategy, PartitionStrategy, TuneResult,
+                         estimate_cycles, make_strategy, register_strategy,
+                         strategy_names, tune_strategy)
 from .sptrsv import (ILDUFactors, SpTrsvExecution, SpTrsvResult, ildu,
                      level_schedule, recursive_plan, reorder_by_levels,
                      run_sptrsv, solve_unit_triangular_reference)
@@ -25,7 +28,9 @@ __all__ = [
     "Assignment", "ChannelAssignment", "accumulation_traffic_bytes",
     "distribute", "replication_traffic_bytes", "shard_channels",
     "SpmvExecution", "SpmvResult", "element_bytes", "plan_spmv",
-    "run_spmv", "ILDUFactors",
+    "run_spmv", "AutoStrategy", "PartitionStrategy", "TuneResult",
+    "estimate_cycles", "make_strategy", "register_strategy",
+    "strategy_names", "tune_strategy", "ILDUFactors",
     "SpTrsvExecution", "SpTrsvResult", "ildu", "level_schedule",
     "recursive_plan", "reorder_by_levels", "run_sptrsv",
     "solve_unit_triangular_reference", "TraceParams",

@@ -37,7 +37,8 @@ class PSyncPIM:
                  engine_banks: Optional[int] = None,
                  trace_params: Optional[TraceParams] = None,
                  config: Optional[SystemConfig] = None,
-                 channels: Optional[int] = None) -> None:
+                 channels: Optional[int] = None,
+                 strategy: Optional[str] = None) -> None:
         if fidelity not in ("fast", "functional"):
             raise ExecutionError(f"unknown fidelity {fidelity!r}")
         self.config = config or default_system(num_cubes)
@@ -48,6 +49,9 @@ class PSyncPIM:
         #: Channel-sharded execution width (None = legacy representative
         #: channel; explicit arg > PSYNCPIM_CHANNELS > default).
         self.channels = channels
+        #: Partitioning strategy (None resolves to PSYNCPIM_STRATEGY >
+        #: "paper"; "auto" tunes per matrix — repro.core.strategies).
+        self.strategy = strategy
 
     # ------------------------------------------------------------------
     # kernels
@@ -66,7 +70,8 @@ class PSyncPIM:
                         accumulate=accumulate, y0=y0,
                         engine_banks=self.engine_banks,
                         matrix_format=matrix_format,
-                        channels=self.channels)
+                        channels=self.channels,
+                        strategy=self.strategy)
 
     def sptrsv(self, triangular: COOMatrix, b: np.ndarray,
                lower: bool = True, reorder: bool = True,
@@ -76,7 +81,8 @@ class PSyncPIM:
                           precision=precision or self.precision,
                           fidelity=self.fidelity, reorder=reorder,
                           engine_banks=self.engine_banks,
-                          channels=self.channels)
+                          channels=self.channels,
+                          strategy=self.strategy)
 
     def factorize(self, matrix: COOMatrix) -> ILDUFactors:
         """Host-side ILDU preprocessing (§VI-D)."""
@@ -144,6 +150,7 @@ class PSyncPIM:
         if scale is None:
             scale = resolve_bench_scale()
         job_overrides.setdefault("channels", self.channels)
+        job_overrides.setdefault("strategy", self.strategy)
         jobs = []
         for entry in matrices:
             if isinstance(entry, SweepJob):

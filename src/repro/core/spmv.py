@@ -21,7 +21,8 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..config import SystemConfig, element_size, resolve_channels
+from ..config import (SystemConfig, element_size, resolve_channels,
+                      resolve_strategy)
 from ..errors import ConfigError, ExecutionError
 from ..formats import COOMatrix
 from ..kernels import Tile, run_tile_round
@@ -113,6 +114,7 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
               assignment: Optional[AnyAssignment] = None,
               planner: Optional[str] = None, validate: bool = True,
               channels: Optional[int] = None,
+              strategy: Optional[str] = None, tuner_cache=None,
               ) -> "tuple[PartitionPlan, AnyAssignment, SpmvExecution]":
     """Lay out one SpMV without executing it numerically.
 
@@ -132,14 +134,42 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
     An integer ``C`` shards tiles over ``C`` explicitly modelled
     pseudo-channels (:func:`repro.core.distribution.shard_channels`),
     each with its own per-bank distribution and trace stream.
+
+    ``strategy`` selects the partitioning scheme (explicit arg >
+    ``PSYNCPIM_STRATEGY`` > ``"paper"``; see
+    :mod:`repro.core.strategies`). ``"auto"`` tunes per matrix with the
+    analytic cost model, memoizing verdicts through *tuner_cache* (an
+    :class:`repro.sweep.ArtifactCache`) when one is supplied. Ignored
+    when a pre-built *plan* is injected.
     """
     channels = resolve_channels(channels)
     if plan is None:
-        with obs.span("plan.partition", cat="planner",
-                      nnz=matrix.nnz, compress=compress):
-            plan = partition(matrix, config, precision=precision,
-                             compress=compress, planner=planner,
-                             validate=validate)
+        strategy = resolve_strategy(strategy)
+        if strategy == "auto":
+            from .strategies import tune_strategy
+            with obs.span("plan.tune", cat="planner", nnz=matrix.nnz):
+                tuned = tune_strategy(matrix, config, precision=precision,
+                                      compress=compress, policy=policy,
+                                      channels=channels, planner=planner,
+                                      cache=tuner_cache)
+            strategy = tuned.chosen
+            if obs.enabled():
+                obs.add_counter("spmv.tuned", 1)
+        if strategy == "paper":
+            with obs.span("plan.partition", cat="planner",
+                          nnz=matrix.nnz, compress=compress):
+                plan = partition(matrix, config, precision=precision,
+                                 compress=compress, planner=planner,
+                                 validate=validate)
+        else:
+            from .strategies import make_strategy
+            with obs.span("plan.partition", cat="planner",
+                          nnz=matrix.nnz, compress=compress,
+                          strategy=strategy):
+                plan = make_strategy(strategy).partition(
+                    matrix, config, precision=precision,
+                    compress=compress, planner=planner,
+                    validate=validate)
     value_bytes = element_size(precision)
     stream_bpe = _stream_bytes_per_element(matrix_format, plan,
                                            value_bytes, matrix)
@@ -154,6 +184,10 @@ def plan_spmv(matrix: COOMatrix, config: SystemConfig,
         execution = _assignment_execution(assignment, precision, policy,
                                           compress, matrix_format,
                                           stream_bpe)
+        # The representative-channel model still needs the platform's
+        # channel width (PB trace chunking); default geometry keeps the
+        # historical 16.
+        execution.banks_per_channel = config.memory.banks_per_channel
     else:
         available = config.memory.num_pseudo_channels
         if channels > available:
@@ -275,7 +309,9 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
              engine: Optional[str] = None,
              planner: Optional[str] = None,
              validate: bool = True,
-             channels: Optional[int] = None) -> SpmvResult:
+             channels: Optional[int] = None,
+             strategy: Optional[str] = None,
+             tuner_cache=None) -> SpmvResult:
     """Execute ``y = accumulate(y0, A (.) x)`` on the pSyncPIM model.
 
     ``engine_banks`` caps the functional engine size (the plan itself is
@@ -299,7 +335,7 @@ def run_spmv(matrix: COOMatrix, x: np.ndarray, config: SystemConfig,
         matrix, config, precision=precision, compress=compress,
         policy=policy, matrix_format=matrix_format, plan=plan,
         assignment=assignment, planner=planner, validate=validate,
-        channels=channels)
+        channels=channels, strategy=strategy, tuner_cache=tuner_cache)
 
     # Channel-sharded layouts execute as one big lane array of
     # (channel, bank) units; channels never interact mid-kernel, so the

@@ -362,7 +362,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                engine_banks: Optional[int] = None,
                engine: Optional[str] = None,
                planner: Optional[str] = None,
-               channels: Optional[int] = None) -> SpTrsvResult:
+               channels: Optional[int] = None,
+               strategy: Optional[str] = None) -> SpTrsvResult:
     """Solve ``T x = b`` for unit triangular T on the pSyncPIM model.
 
     Upper solves are run as lower solves on the reversed ordering
@@ -380,6 +381,12 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
     SpMV over ``C`` explicitly modelled channels. Fast-tier numerics are
     bitwise identical for any ``C`` (the host-side scatter order does not
     depend on the bank split).
+
+    ``strategy`` selects the partitioning scheme for the update SpMVs
+    (explicit arg > ``PSYNCPIM_STRATEGY`` > ``"paper"``; see
+    :mod:`repro.core.strategies`). The default (``"paper"``) path is
+    bitwise unchanged; alternative strategies regroup the per-row
+    accumulation and may differ in the last floating-point bits.
     """
     b = np.asarray(b, dtype=np.float64)
     n = tri.shape[0]
@@ -406,7 +413,8 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
                             precision=precision, fidelity=fidelity,
                             reorder=reorder, leaf_size=leaf_size,
                             engine_banks=engine_banks, engine=engine,
-                            planner=planner, channels=channels)
+                            planner=planner, channels=channels,
+                            strategy=strategy)
         result.x = result.x[::-1].copy()
         return result
 
@@ -454,7 +462,7 @@ def run_sptrsv(tri: COOMatrix, b: np.ndarray, config: SystemConfig,
             if step.kind == "update":
                 _apply_update(strict, rhs, step, config, precision,
                               fidelity, engine_banks, execution, engine,
-                              planner_name, channels)
+                              planner_name, channels, strategy)
             else:
                 solve_leaf(leaf_source, rhs, step, config, precision,
                            fidelity, engine_banks, execution, engine)
@@ -475,7 +483,8 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
                   execution: SpTrsvExecution,
                   engine: Optional[str] = None,
                   planner: Optional[str] = None,
-                  channels: Optional[int] = None) -> None:
+                  channels: Optional[int] = None,
+                  strategy: Optional[str] = None) -> None:
     """b1 -= M @ x0 (Eq. 3's SpMV between the two recursive solves)."""
     from .spmv import run_spmv  # local import: spmv <-> sptrsv layering
     r0, r1 = step.row_range
@@ -486,7 +495,8 @@ def _apply_update(strict: COOMatrix, rhs: np.ndarray, step: SolveStep,
     result = run_spmv(block, rhs[c0:c1], config, precision=precision,
                       fidelity=fidelity, accumulate="sub",
                       y0=rhs[r0:r1], engine_banks=engine_banks,
-                      engine=engine, planner=planner, channels=channels)
+                      engine=engine, planner=planner, channels=channels,
+                      strategy=strategy)
     rhs[r0:r1] = result.y
     execution.update_elements.append(block.nnz)
     execution.update_batches.append(result.execution.num_rounds)

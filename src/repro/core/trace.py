@@ -231,13 +231,16 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
 def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
                   params: TraceParams = TraceParams(),
                   channel: int = 0,
-                  banks: int = 16) -> List[TraceEntry]:
+                  banks: Optional[int] = None) -> List[TraceEntry]:
     """All-bank pSyncPIM schedule of one SpMV on one channel.
 
     *channel* stamps every command so channel-sharded executions can
     concatenate per-channel streams into one trace; the default 0 is the
-    representative-channel model.
+    representative-channel model. *banks* (the channel width the host
+    staging fans over) defaults to the execution record's
+    ``banks_per_channel``.
     """
+    banks = banks if banks is not None else execution.banks_per_channel
     vb = element_size(execution.precision)
     eb = execution.stream_bytes_per_element
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
@@ -268,17 +271,19 @@ def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
 def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
                   params: TraceParams = TraceParams(),
                   channel: int = 0,
-                  banks: int = 16) -> List[TraceEntry]:
+                  banks: Optional[int] = None) -> List[TraceEntry]:
     """Per-bank schedule: the host drives each bank's kernel separately.
 
     Staging traffic is identical to AB mode; the kernel phase is replayed
     per bank with single-bank commands, each bank streaming only its own
-    elements (no lock-step padding — PB's one advantage).
+    elements (no lock-step padding — PB's one advantage). *banks*
+    defaults to the execution record's ``banks_per_channel``.
     """
+    banks = banks if banks is not None else execution.banks_per_channel
     vb = element_size(execution.precision)
     eb = execution.stream_bytes_per_element
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    per_bank = _representative_channel_loads(execution)
+    per_bank = _representative_channel_loads(execution, banks)
     rounds = max(1, execution.num_rounds)
     trace: List[TraceEntry] = []
     for r in range(rounds):
@@ -326,13 +331,21 @@ def spmv_channels_trace(execution: SpmvExecution, config: SystemConfig,
     return trace
 
 
-def _representative_channel_loads(execution: SpmvExecution) -> List[float]:
-    """Per-bank element loads of the busiest 16-bank channel."""
+def _representative_channel_loads(execution: SpmvExecution,
+                                  banks: Optional[int] = None
+                                  ) -> List[float]:
+    """Per-bank element loads of the busiest channel-width chunk.
+
+    The channel width comes from the execution record (or the caller's
+    explicit *banks*), not a hardcoded 16, so PB traces chunk correctly
+    under non-default channel geometry.
+    """
+    width = banks if banks is not None else execution.banks_per_channel
     loads = execution.per_bank_elements
-    channels = max(1, loads.size // 16)
+    channels = max(1, loads.size // width)
     best, best_sum = None, -1
     for ch in range(channels):
-        chunk = loads[ch * 16:(ch + 1) * 16]
+        chunk = loads[ch * width:(ch + 1) * width]
         if chunk.sum() > best_sum:
             best, best_sum = chunk, chunk.sum()
     if best is None:

@@ -5,6 +5,15 @@ field: reading the string left to right gives the fields from most- to
 least-significant — row (ro), rank (ra, absent), bank group (bg), bank (ba),
 channel (ch), column (co). The decoder is generic over the field order so
 alternative mappings can be explored in ablations.
+
+HBM2's channels are *pseudo*-channels: pairs sharing one physical channel's
+pins (JESD235B). The default mapping addresses them with one combined
+``ch`` field; adding the optional ``pc`` token splits the bits — ``ch``
+then indexes the physical channel and ``pc`` the pseudo-channel within it
+— so mappings can place the two halves at different positions. Decoded
+addresses always expose the combined pseudo-channel index (``channel``,
+what planning/sharding consume) alongside the split
+``physical_channel`` / ``pseudo_channel`` pair.
 """
 
 from __future__ import annotations
@@ -22,8 +31,14 @@ _FIELD_TOKENS = {
     "bg": "bankgroup",
     "ba": "bank",
     "ch": "channel",
+    "pc": "pseudochannel",
     "co": "column",
 }
+
+#: Fields every mapping must carry; ``pc`` is optional (without it the
+#: ``ch`` field addresses the combined pseudo-channel index directly).
+_REQUIRED_FIELDS = frozenset(
+    name for token, name in _FIELD_TOKENS.items() if token != "pc")
 
 
 def _bits_for(count: int) -> int:
@@ -35,13 +50,20 @@ def _bits_for(count: int) -> int:
 
 @dataclass(frozen=True)
 class DecodedAddress:
-    """A physical address split into DRAM coordinates."""
+    """A physical address split into DRAM coordinates.
+
+    ``channel`` is the combined pseudo-channel index (what distribution
+    and sharding consume); ``physical_channel`` / ``pseudo_channel`` are
+    its split per the platform's pseudo-channels-per-channel.
+    """
 
     channel: int
     bankgroup: int
     bank: int
     row: int
     column: int
+    physical_channel: int = 0
+    pseudo_channel: int = 0
 
     @property
     def flat_bank(self) -> int:
@@ -60,15 +82,22 @@ class AddressMapper:
     def __init__(self, config: HBM2Config = HBM2Config()) -> None:
         self._config = config
         self._offset_bits = _bits_for(config.column_bytes)
+        self._fields = self._parse(config.address_mapping)
+        self._split_channel = "pseudochannel" in self._fields
+        self._pcs = config.pseudo_channels_per_channel
         sizes = {
             "row": config.num_rows,
             "rank": 1,  # Table VII: rank is 0 bits
             "bankgroup": config.num_bankgroups,
             "bank": config.banks_per_group,
-            "channel": config.num_pseudo_channels,
+            # With a "pc" field the "ch" bits index physical channels and
+            # "pc" the pseudo-channel within one; otherwise "ch" carries
+            # the combined pseudo-channel index (Table VII default).
+            "channel": (config.num_physical_channels if self._split_channel
+                        else config.num_pseudo_channels),
+            "pseudochannel": self._pcs,
             "column": config.num_columns,
         }
-        self._fields = self._parse(config.address_mapping)
         # (name, bits, size) from most to least significant
         self._layout: List[Tuple[str, int, int]] = [
             (name, _bits_for(sizes[name]), sizes[name])
@@ -88,7 +117,7 @@ class AddressMapper:
             if name in fields:
                 raise AddressError(f"field {token!r} appears twice")
             fields.append(name)
-        missing = set(_FIELD_TOKENS.values()) - set(fields)
+        missing = _REQUIRED_FIELDS - set(fields)
         if missing:
             raise AddressError(f"mapping misses fields: {sorted(missing)}")
         return fields
@@ -115,16 +144,38 @@ class AddressMapper:
                     f"{name} index {value} exceeds size {size} in "
                     f"address {address:#x}")
             values[name] = value
-        return DecodedAddress(channel=values["channel"],
+        if self._split_channel:
+            physical = values["channel"]
+            pseudo = values["pseudochannel"]
+            combined = physical * self._pcs + pseudo
+        else:
+            combined = values["channel"]
+            physical, pseudo = divmod(combined, self._pcs)
+        return DecodedAddress(channel=combined,
                               bankgroup=values["bankgroup"],
                               bank=values["bank"], row=values["row"],
-                              column=values["column"])
+                              column=values["column"],
+                              physical_channel=physical,
+                              pseudo_channel=pseudo)
 
     def encode(self, channel: int, bankgroup: int, bank: int, row: int,
                column: int, offset: int = 0) -> int:
-        """Compose a byte address from DRAM coordinates."""
+        """Compose a byte address from DRAM coordinates.
+
+        *channel* is always the combined pseudo-channel index; with a
+        ``pc`` mapping it is decomposed onto the split ``ch``/``pc`` bit
+        fields internally.
+        """
         values = {"channel": channel, "bankgroup": bankgroup, "bank": bank,
-                  "row": row, "column": column, "rank": 0}
+                  "row": row, "column": column, "rank": 0,
+                  "pseudochannel": 0}
+        if self._split_channel:
+            if not 0 <= channel < self._config.num_pseudo_channels:
+                raise AddressError(
+                    f"channel={channel} out of range "
+                    f"[0,{self._config.num_pseudo_channels})")
+            values["channel"], values["pseudochannel"] = divmod(
+                channel, self._pcs)
         if not 0 <= offset < self._config.column_bytes:
             raise AddressError(f"offset {offset} exceeds column size")
         bits = 0

@@ -53,7 +53,10 @@ CACHE_DIR_ENV = "PSYNCPIM_CACHE_DIR"
 #: v5: executions gained channel-sharding fields (num_channels,
 #: channel_execs) and sweep keys a channels component; pre-v5 pickles
 #: lack the new dataclass fields.
-CACHE_VERSION = 5
+#: v6: sweep keys gained a partitioning-strategy component and a "tune"
+#: artifact kind; HBM2Config grew pseudo_channels_per_channel, which
+#: changes every config-keyed digest via the dataclass field walk.
+CACHE_VERSION = 6
 
 #: On-disk artifact header: magic, then the SHA-256 of the payload.
 _MAGIC = b"PSPC1\n"

@@ -30,7 +30,7 @@ import numpy as np
 from ..analysis.report import JobRecord, SweepResult
 from .. import obs
 from ..config import (SystemConfig, default_system, gddr6_aim_system,
-                      resolve_batch, resolve_channels)
+                      resolve_batch, resolve_channels, resolve_strategy)
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
 from ..core.timing import PerfReport, price_trace
@@ -120,6 +120,9 @@ class SweepJob:
     #: Channel-sharded execution width (None = representative channel;
     #: resolved through :func:`repro.config.resolve_channels`).
     channels: Optional[int] = None
+    #: Partitioning strategy (None resolves through
+    #: :func:`repro.config.resolve_strategy`; "auto" tunes per matrix).
+    strategy: Optional[str] = None
     label: str = ""
 
     def resolved_label(self) -> str:
@@ -139,6 +142,8 @@ class SweepJob:
             parts.append(self.platform)
         if self.channels is not None:
             parts.append(f"{self.channels}ch")
+        if self.strategy not in (None, "paper"):
+            parts.append(self.strategy)
         return "/".join(parts)
 
     def system(self) -> SystemConfig:
@@ -165,15 +170,17 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
     params = TraceParams()
     mkey = matrix_digest(matrix)
     channels = resolve_channels(job.channels)
+    strategy = resolve_strategy(job.strategy)
 
     plan_key = cache.key("spmv-plan", mkey, config, job.precision,
-                         job.compress, job.policy, channels)
+                         job.compress, job.policy, channels, strategy)
     plan, assignment = cache.get_or_compute(
         "plan", plan_key,
         lambda: plan_spmv(matrix, config, precision=job.precision,
                           compress=job.compress, policy=job.policy,
                           matrix_format=job.matrix_format,
-                          validate=False, channels=channels)[:2])
+                          validate=False, channels=channels,
+                          strategy=strategy, tuner_cache=cache)[:2])
     _, _, execution = plan_spmv(matrix, config, precision=job.precision,
                                 compress=job.compress, policy=job.policy,
                                 matrix_format=job.matrix_format,
@@ -211,6 +218,8 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
     }
     if channels is not None:
         extras["channels"] = channels
+    if strategy != "paper":
+        extras["strategy"] = strategy
     return report, extras
 
 
@@ -228,13 +237,15 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
     n = tri.shape[0]
     b = np.random.default_rng(job.seed).random(n)
     channels = resolve_channels(job.channels)
+    strategy = resolve_strategy(job.strategy)
 
     solve_key = cache.key("sptrsv-solve", mkey, job.lower, config,
-                          job.precision, job.seed, channels)
+                          job.precision, job.seed, channels, strategy)
 
     def compute_solve():
         result = run_sptrsv(tri, b, config, lower=job.lower,
-                            precision=job.precision, channels=channels)
+                            precision=job.precision, channels=channels,
+                            strategy=strategy)
         levels = len(level_schedule(tri, lower=job.lower))
         return result.execution, result.x, levels
 
@@ -268,6 +279,8 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
     }
     if channels is not None:
         extras["channels"] = channels
+    if strategy != "paper":
+        extras["strategy"] = strategy
     return report, extras
 
 
@@ -405,7 +418,8 @@ def _batch_key(job: SweepJob) -> tuple:
     """
     return (job.kernel, job.scale, job.precision, job.num_cubes,
             job.platform, job.mode, job.compress, job.policy,
-            job.matrix_format, job.with_energy, job.channels)
+            job.matrix_format, job.with_energy, job.channels,
+            job.strategy)
 
 
 def _batch_groups(jobs: Sequence[SweepJob]) -> "list[list[int]]":

@@ -401,3 +401,55 @@ class TestChannelObs:
         text = render_profile(metrics_dict(recorder))
         assert "per-channel schedule" in text
         assert "ch 0" in text and "ch 1" in text
+
+
+class TestRepresentativeChannelLoads:
+    """PB traces must chunk per-bank loads by the execution's channel
+    width, not a hardcoded 16 (regression: non-default geometry)."""
+
+    @staticmethod
+    def _execution(loads, bpc):
+        from repro.core import SpmvExecution
+        return SpmvExecution(
+            precision="fp64", num_banks=loads.size, round_batches=[4],
+            per_bank_elements=loads, input_bytes=0, output_bytes=0,
+            matrix_bytes=0, banks_used=loads.size, imbalance=1.0,
+            policy="paper", compressed=True, round_x_lengths=[4],
+            round_y_lengths=[4], banks_per_channel=bpc)
+
+    def test_width_from_execution_record(self):
+        from repro.core.trace import _representative_channel_loads
+        loads = np.arange(32, dtype=np.int64)
+        execution = self._execution(loads, bpc=8)
+        # busiest 8-bank chunk is the last one, not a 16-bank window
+        assert _representative_channel_loads(execution) \
+            == [float(v) for v in loads[24:32]]
+
+    def test_default_geometry_unchanged(self):
+        from repro.core.trace import _representative_channel_loads
+        loads = np.arange(32, dtype=np.int64)
+        execution = self._execution(loads, bpc=16)
+        assert _representative_channel_loads(execution) \
+            == [float(v) for v in loads[16:32]]
+
+    def test_explicit_banks_override(self):
+        from repro.core.trace import _representative_channel_loads
+        loads = np.arange(16, dtype=np.int64)
+        execution = self._execution(loads, bpc=16)
+        assert _representative_channel_loads(execution, banks=4) \
+            == [float(v) for v in loads[12:16]]
+
+    def test_pb_trace_arms_at_most_width_banks(self):
+        from repro.core import spmv_pb_trace
+        loads = np.arange(1, 25, dtype=np.int64)
+        execution = self._execution(loads, bpc=8)
+        trace = spmv_pb_trace(execution, CONFIG)
+        kernel_banks = {entry.bank for entry in trace
+                        if entry.bank is not None}
+        assert kernel_banks and max(kernel_banks) < 8
+
+    def test_plan_spmv_stamps_platform_width(self):
+        matrix = generate("facebook", scale=0.1)
+        _, _, execution = plan_spmv(matrix, CONFIG, validate=False)
+        assert execution.banks_per_channel \
+            == CONFIG.memory.banks_per_channel

@@ -137,3 +137,90 @@ class TestEdges:
             mapper.decode(-1)
         with pytest.raises(AddressError):
             mapper.decode(mapper.addressable_bytes)
+
+
+class TestPseudoChannelSplit:
+    """The optional ``pc`` token splits the channel bits: ``ch`` indexes
+    the physical channel, ``pc`` the pseudo-channel within it."""
+
+    SPLIT = dataclasses.replace(CFG, address_mapping="rorabgbachpcco")
+
+    # low to high: 4 offset, 6 column, 1 pseudo-channel, 3 physical
+    # channel, 2 bank, 2 bankgroup, 0 rank, 14 row
+    PC_SHIFT = 10
+    CH_SHIFT = 11
+    BANK_SHIFT = 14
+    BANKGROUP_SHIFT = 16
+    ROW_SHIFT = 18
+
+    @pytest.fixture()
+    def split(self):
+        return AddressMapper(self.SPLIT)
+
+    def test_exact_bit_positions(self, split):
+        # channel=1 is pseudo-channel 1 of physical channel 0: the pc bit
+        assert split.encode(1, 0, 0, 0, 0) == 1 << self.PC_SHIFT
+        # channel=2 is physical channel 1: the ch field's low bit
+        assert split.encode(2, 0, 0, 0, 0) == 1 << self.CH_SHIFT
+        assert split.encode(0, 0, 1, 0, 0) == 1 << self.BANK_SHIFT
+        assert split.encode(0, 1, 0, 0, 0) == 1 << self.BANKGROUP_SHIFT
+        assert split.encode(0, 0, 0, 1, 0) == 1 << self.ROW_SHIFT
+        assert split.encode(0, 0, 0, 0, 1) == 1 << 4
+
+    def test_same_capacity_as_combined(self, split):
+        assert split.addressable_bytes \
+            == AddressMapper(CFG).addressable_bytes == CFG.capacity_bytes
+
+    def test_decode_matches_combined_mapping(self, split):
+        """ch directly above pc is bit-identical to the combined field,
+        so both mappings decode the same address the same way."""
+        combined = AddressMapper(CFG)
+        for ch in range(CFG.num_pseudo_channels):
+            addr = combined.encode(ch, 2, 1, 321, 17)
+            assert split.encode(ch, 2, 1, 321, 17) == addr
+            assert split.decode(addr) == combined.decode(addr)
+
+    def test_split_fields_populated(self, split):
+        pcs = CFG.pseudo_channels_per_channel
+        for ch in (0, 1, 7, 15):
+            d = split.decode(split.encode(ch, 0, 0, 5, 9))
+            assert d.channel == ch
+            assert d.physical_channel == ch // pcs
+            assert d.pseudo_channel == ch % pcs
+            assert d.physical_channel * pcs + d.pseudo_channel == ch
+
+    def test_combined_mapping_also_reports_split(self, mapper):
+        pcs = CFG.pseudo_channels_per_channel
+        d = mapper.decode(mapper.encode(13, 1, 2, 8, 3))
+        assert (d.physical_channel, d.pseudo_channel) == (13 // pcs,
+                                                          13 % pcs)
+
+    def test_round_trip_exhaustive_channels(self, split):
+        seen = set()
+        for ch in range(CFG.num_pseudo_channels):
+            for co in range(0, CFG.num_columns, 7):
+                addr = split.encode(ch, 3, 2, 99, co)
+                assert addr not in seen
+                seen.add(addr)
+                d = split.decode(addr)
+                assert (d.channel, d.column) == (ch, co)
+
+    def test_pc_elsewhere_in_mapping(self):
+        # pc can sit away from ch: put it just above the column bits
+        mapper = AddressMapper(dataclasses.replace(
+            CFG, address_mapping="rorabgbachcopc"))
+        pcs = CFG.pseudo_channels_per_channel
+        assert mapper.encode(1, 0, 0, 0, 0) == 1 << 4      # pc bit
+        assert mapper.encode(pcs, 0, 0, 0, 0) == 1 << 11   # ch low bit
+        for ch in (0, 3, 15):
+            d = mapper.decode(mapper.encode(ch, 1, 1, 7, 21))
+            assert d.channel == ch
+
+    def test_duplicate_pc_rejected(self):
+        with pytest.raises(AddressError):
+            AddressMapper(dataclasses.replace(
+                CFG, address_mapping="rorabgbachpcpcco"))
+
+    def test_out_of_range_channel_rejected(self, split):
+        with pytest.raises(AddressError):
+            split.encode(CFG.num_pseudo_channels, 0, 0, 0, 0)

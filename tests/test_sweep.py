@@ -57,6 +57,39 @@ class TestStableDigest:
             stable_digest(object())
 
 
+class TestCacheVersion:
+    """The strategy PR bumped the artifact layout version (v5 -> v6)."""
+
+    def test_version_is_six(self):
+        from repro.sweep.cache import CACHE_VERSION
+        assert CACHE_VERSION == 6
+
+    def test_version_participates_in_every_digest(self, monkeypatch):
+        # Pre-v6 artifacts (keyed under CACHE_VERSION=5, before sweep keys
+        # carried a strategy component) must never be served: the version
+        # is folded into stable_digest, so bumping it rotates every key.
+        from repro.sweep import cache as cache_mod
+        current = cache_mod.stable_digest("spmv-plan", MATRIX)
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", 5)
+        previous = cache_mod.stable_digest("spmv-plan", MATRIX)
+        assert current != previous
+
+    def test_stale_version_artifact_is_not_served(self, tmp_path,
+                                                  monkeypatch):
+        from repro.sweep import cache as cache_mod
+        cache = ArtifactCache(tmp_path)
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", 5)
+        old_key = cache.key("kernel", MATRIX)
+        cache.store("plan", old_key, {"stale": True})
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", 6)
+        new_key = cache.key("kernel", MATRIX)
+        assert new_key != old_key
+        computed = cache.get_or_compute("plan", new_key,
+                                        lambda: {"stale": False})
+        assert computed == {"stale": False}
+        assert cache.misses["plan"] == 1
+
+
 # ----------------------------------------------------------------------
 # the artifact cache
 # ----------------------------------------------------------------------

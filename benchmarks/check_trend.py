@@ -3,7 +3,8 @@
 
 The perf microbenchmarks (``test_perf_engine.py``, ``test_perf_plan.py``,
 ``test_perf_fuzz.py``, ``test_perf_channels.py``,
-``test_perf_partition.py``) each write a ``benchmarks/results/BENCH_*.json``
+``test_perf_partition.py``, ``test_perf_attrib.py``) each write a
+``benchmarks/results/BENCH_*.json``
 with a ``speedups`` section. Those speedups are *ratios* between two
 implementations measured on the same machine in the same run, so they
 transfer across hardware in a way absolute times never do — that is what
@@ -56,6 +57,9 @@ PINNED = {
     "BENCH_fuzz.json": ("execution",),
     "BENCH_channels.json": ("channels_16v1", "channels_4v1"),
     "BENCH_partition.json": ("auto_vs_paper",),
+    # plain-pricing over pricing-with-collector: ~1.0 when attribution
+    # observation stays free; a drop means the collector got expensive.
+    "BENCH_attrib.json": ("pricing_vs_attrib",),
 }
 
 

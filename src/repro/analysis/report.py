@@ -103,6 +103,9 @@ class JobRecord:
     #: ``PSYNCPIM_OBS`` was on (``Recorder.delta_since`` dict); ``None``
     #: when observability was off.
     metrics: Optional[Dict[str, Any]] = None
+    #: Cycle-attribution artifact (:class:`repro.obs.report.RunReport`)
+    #: when the job ran with attribution on; ``None`` otherwise.
+    attrib: Optional[Any] = None
 
     @property
     def cached(self) -> bool:
@@ -177,19 +180,84 @@ class SweepResult:
                 f"{first.label}: {first.error}\n{first.traceback}")
 
     # -- metric aggregation -------------------------------------------
+    @staticmethod
+    def _metric_key(record: JobRecord, name: str) -> str:
+        """Failed jobs' partial metrics merge under a tagged name.
+
+        A job that died mid-pipeline still recorded real work (plans
+        built, traces priced) before the exception; dropping its payload
+        would under-count the sweep, but summing it anonymously into the
+        healthy totals would poison them. Tagging keeps both properties:
+        everything captured survives, and the failure is attributable.
+        """
+        if record.failed:
+            return f"failed[{record.label}].{name}"
+        return name
+
     def merged_counters(self) -> Dict[str, float]:
         """Sum the per-job observability counters across all records.
 
         Only populated when the sweep ran with ``PSYNCPIM_OBS`` on; an
-        empty dict otherwise.
+        empty dict otherwise. Failed jobs' partial counters are kept but
+        namespaced ``failed[<label>].<name>`` (see :meth:`_metric_key`).
         """
         totals: Dict[str, float] = {}
         for record in self.records:
             if not record.metrics:
                 continue
             for name, value in record.metrics.get("counters", {}).items():
-                totals[name] = totals.get(name, 0.0) + value
+                key = self._metric_key(record, name)
+                totals[key] = totals.get(key, 0.0) + value
         return totals
+
+    def merged_gauges(self) -> Dict[str, float]:
+        """Last-written value per gauge across the sweep's records.
+
+        Records are walked in job order, so a gauge set by several jobs
+        keeps the last healthy job's observation — matching how the
+        parent recorder's merge treats gauges. Failed jobs' gauges are
+        namespaced like :meth:`merged_counters`.
+        """
+        merged: Dict[str, float] = {}
+        for record in self.records:
+            if not record.metrics:
+                continue
+            for name, value in record.metrics.get("gauges", {}).items():
+                merged[self._metric_key(record, name)] = float(value)
+        return merged
+
+    def merged_bank_counters(self) -> Dict[str, List[float]]:
+        """Elementwise-summed per-bank counter arrays across all records.
+
+        Arrays of different lengths (e.g. C=4 vs C=16 shard widths in one
+        sweep) are summed over their common prefix with the longer tail
+        preserved. Failed jobs' partial arrays are kept under the
+        ``failed[<label>].`` namespace instead of being dropped.
+        """
+        merged: Dict[str, List[float]] = {}
+        for record in self.records:
+            if not record.metrics:
+                continue
+            payload = record.metrics.get("bank_counters", {})
+            for name, values in payload.items():
+                key = self._metric_key(record, name)
+                values = [float(v) for v in values]
+                have = merged.get(key)
+                if have is None:
+                    merged[key] = values
+                    continue
+                if len(values) > len(have):
+                    have, values = values, have
+                for i, v in enumerate(values):
+                    have[i] += v
+                merged[key] = have
+        return merged
+
+    # -- attribution ---------------------------------------------------
+    def attrib_reports(self) -> Dict[str, Any]:
+        """RunReports of jobs that ran with attribution on, by label."""
+        return {record.label: record.attrib for record in self.records
+                if record.attrib is not None}
 
     # -- cache observability ------------------------------------------
     @property

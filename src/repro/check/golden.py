@@ -28,7 +28,8 @@ from ..dram import TraceEntry, as_run
 from ..formats.generators import uniform_random, unit_lower_from
 
 #: Bump when the record layout itself changes (forces a re-baseline).
-RECORD_VERSION = 1
+#: v2 added the "attrib" section (cycle-attribution device totals).
+RECORD_VERSION = 2
 
 
 def default_golden_dir() -> Path:
@@ -101,8 +102,10 @@ def _trace_rows(trace: List[TraceEntry]) -> List[list]:
 
 def build_record(name: str) -> dict:
     """Regenerate the snapshot for one workload (exact, deterministic)."""
+    from ..obs.attrib import attribute_trace
     trace, report = WORKLOADS[name]()
     energy = report.energy.as_dict() if report.energy else {}
+    attribution, _ = attribute_trace(trace, default_system())
     return {
         "version": RECORD_VERSION,
         "workload": name,
@@ -117,6 +120,15 @@ def build_record(name: str) -> dict:
                               key=lambda kv: kv[0].name) if n},
             "tag_cycles": dict(sorted(report.tag_cycles.items())),
         },
+        # Device-wide category totals of the cycle-attribution engine
+        # (every lane sums bitwise to total_cycles; pinning the totals
+        # here catches silent category drift, not just cycle drift).
+        "attrib": {
+            "total_cycles": attribution.total_cycles,
+            "lanes": attribution.num_lanes,
+            "device_cycles": dict(sorted(
+                attribution.device_cycles().items())),
+        },
         "energy_pj": {k: v for k, v in sorted(energy.items())},
     }
 
@@ -127,7 +139,7 @@ def golden_path(directory: Path, name: str) -> Path:
 
 def _diff_records(name: str, expected: dict, actual: dict) -> List[str]:
     problems: List[str] = []
-    for key in ("version", "schedule", "energy_pj"):
+    for key in ("version", "schedule", "attrib", "energy_pj"):
         if expected.get(key) != actual.get(key):
             problems.append(
                 f"{name}: {key} drifted: expected {expected.get(key)!r}"

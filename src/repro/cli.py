@@ -14,6 +14,12 @@ Four subcommands cover the common workflows without writing Python:
   :mod:`repro.core.strategies`).
 * ``profile`` — render an observability run (``PSYNCPIM_OBS=1``) as
   per-phase / per-bank / DRAM / energy tables (see :mod:`repro.obs`).
+* ``attrib`` — cycle attribution: decompose every (channel, bank)
+  lane's cycles into exclusive categories, with phase timeline and
+  critical path (see :mod:`repro.obs.attrib`); writes bundles and a
+  self-contained HTML report.
+* ``diff``   — compare two attribution bundles and attribute the cycle
+  delta per category and per matrix (regression triage).
 * ``check``  — run the independent verification oracles: golden-trace
   comparison, JEDEC protocol checking, and the seeded ISA fuzzer (see
   :mod:`repro.check`); ``--update-golden`` re-baselines the snapshots.
@@ -112,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "matrix)")
     spmv.add_argument("--no-compress", action="store_true",
                       help="disable the Fig. 6 matrix compression")
+    _obs_args(spmv)
     spmv.set_defaults(handler=_cmd_spmv)
 
     sptrsv = sub.add_parser("sptrsv",
@@ -126,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=list(STRATEGY_CHOICES),
                         help="partitioning strategy for the update SpMVs "
                              "(default: PSYNCPIM_STRATEGY or paper)")
+    _obs_args(sptrsv)
     sptrsv.set_defaults(handler=_cmd_sptrsv)
 
     app = sub.add_parser("app", help="run a Table II application")
@@ -172,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="partitioning strategy (default: "
                             "PSYNCPIM_STRATEGY or paper; auto = tune per "
                             "matrix)")
+    _obs_args(sweep)
+    sweep.add_argument("--attrib-out", default=None, metavar="PATH",
+                       help="write the per-job attribution bundle "
+                            "(.json or pickle; implies --attrib)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     tune = sub.add_parser(
@@ -190,6 +202,53 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default: PSYNCPIM_CHANNELS or the "
                            "representative-channel model)")
     tune.set_defaults(handler=_cmd_tune)
+
+    attrib = sub.add_parser(
+        "attrib", help="cycle attribution: per-lane category breakdown, "
+                       "phase timeline and critical path")
+    attrib.add_argument("--kernel", default="spmv",
+                        choices=["spmv", "sptrsv"])
+    attrib.add_argument("--matrices", default=None,
+                        help="comma-separated Table IX names (default: "
+                             "the kernel's Table IX assignment)")
+    attrib.add_argument("--mtx", default=None,
+                        help="Matrix Market file (overrides --matrices)")
+    attrib.add_argument("--scale", type=float, default=None,
+                        help="dimension scale (default: PSYNCPIM_SCALE "
+                             "or 0.05)")
+    attrib.add_argument("--seed", type=int, default=0)
+    attrib.add_argument("--precision", default="fp64",
+                        choices=["fp64", "fp32", "int32", "int16", "int8"])
+    attrib.add_argument("--mode", default="ab", choices=["ab", "pb"],
+                        help="SpMV PIM mode (ignored for sptrsv)")
+    attrib.add_argument("--channels", type=int, default=None,
+                        help="shard across N explicitly modelled channels "
+                             "(default: PSYNCPIM_CHANNELS or the "
+                             "representative-channel model)")
+    attrib.add_argument("--strategy", default=None,
+                        choices=list(STRATEGY_CHOICES))
+    attrib.add_argument("--out", default=None, metavar="PATH",
+                        help="write the RunReport bundle (.json for a "
+                             "stable text artifact, else pickle)")
+    attrib.add_argument("--html", default=None, metavar="PATH",
+                        help="write a self-contained HTML report")
+    attrib.add_argument("--quiet", action="store_true",
+                        help="only print the bundle summary table")
+    attrib.set_defaults(handler=_cmd_attrib)
+
+    diff = sub.add_parser(
+        "diff", help="compare two attribution bundles and attribute the "
+                     "cycle delta per category and per matrix")
+    diff.add_argument("base", help="baseline bundle (psyncpim attrib "
+                                   "--out)")
+    diff.add_argument("new", help="candidate bundle to compare")
+    diff.add_argument("--top", type=int, default=5,
+                      help="regressing/improving runs to list (default 5)")
+    diff.add_argument("--fail-above", type=float, default=None,
+                      metavar="PCT",
+                      help="exit 1 when total cycles regress by more "
+                           "than PCT percent (default: always exit 0)")
+    diff.set_defaults(handler=_cmd_diff)
 
     profile = sub.add_parser(
         "profile", help="render a PSYNCPIM_OBS run as profile tables")
@@ -225,6 +284,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the JEDEC protocol check")
     check.set_defaults(handler=_cmd_check)
     return parser
+
+
+def _obs_args(parser: argparse.ArgumentParser) -> None:
+    """``--obs`` / ``--attrib`` switches (explicit flag > env var)."""
+    parser.add_argument("--obs", action="store_true", default=None,
+                        help="record observability spans/counters for "
+                             "this run (same as PSYNCPIM_OBS=1)")
+    parser.add_argument("--attrib", action="store_true", default=None,
+                        help="print the cycle-attribution breakdown "
+                             "(same as PSYNCPIM_ATTRIB=1)")
+
+
+def _resolve_obs_flags(args) -> bool:
+    """Apply ``--obs`` and resolve ``--attrib`` for a run command."""
+    from .config import resolve_attrib, resolve_obs
+    if resolve_obs(getattr(args, "obs", None)):
+        obs.enable()
+    return resolve_attrib(getattr(args, "attrib", None))
 
 
 def _matrix_args(parser: argparse.ArgumentParser) -> None:
@@ -288,6 +365,7 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_spmv(args) -> int:
+    want_attrib = _resolve_obs_flags(args)
     matrix = _load_matrix(args)
     pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision,
                    channels=args.channels, strategy=args.strategy)
@@ -320,16 +398,27 @@ def _cmd_spmv(args) -> int:
                            f"{watts:.2f} W"],
     ], title=f"SpMV on pSyncPIM ({args.precision}, "
              f"{args.matrix_format})"))
+    if want_attrib:
+        attribution, perf = obs.attribute_spmv(ex, pim.config, mode="ab")
+        report = obs.build_run_report(
+            attribution, perf, label=f"spmv/{args.matrix}", kind="spmv",
+            matrix=args.matrix, mode="ab", channels=ex.num_channels,
+            strategy=args.strategy or "", precision=args.precision,
+            config=pim.config, alu_operations=2 * ex.total_elements)
+        print()
+        print(obs.render_report(report))
     return 0
 
 
 def _cmd_sptrsv(args) -> int:
+    want_attrib = _resolve_obs_flags(args)
     matrix = _load_matrix(args)
     pim = PSyncPIM(num_cubes=args.cubes, channels=args.channels,
                    strategy=args.strategy)
     factors = pim.factorize(matrix)
     b = np.random.default_rng(args.seed).random(matrix.shape[0])
     rows = []
+    attrib_reports = []
     for label, tri, lower in (("lower", factors.lower, True),
                               ("upper", factors.upper, False)):
         solve = pim.sptrsv(tri, b, lower=lower)
@@ -337,14 +426,27 @@ def _cmd_sptrsv(args) -> int:
         residual = float(np.abs(tri.matvec(solve.x) - b).max())
         rows.append([label, tri.nnz, solve.execution.num_levels,
                      report.seconds * 1e6, f"{residual:.2e}"])
+        if want_attrib:
+            ex = solve.execution
+            attribution, perf = obs.attribute_sptrsv(ex, pim.config)
+            attrib_reports.append(obs.build_run_report(
+                attribution, perf,
+                label=f"sptrsv/{args.matrix}/{label}", kind="sptrsv",
+                matrix=args.matrix, channels=ex.num_channels,
+                strategy=args.strategy or "", config=pim.config,
+                alu_operations=2 * ex.total_elements))
     print(format_table(["factor", "nnz", "levels", "time (us)",
                         "residual"], rows,
                        title="SpTRSV via ILDU on pSyncPIM"))
+    for report in attrib_reports:
+        print()
+        print(obs.render_report(report))
     return 0
 
 
 def _cmd_sweep(args) -> int:
     from .sweep import run_sweep, suite_jobs
+    want_attrib = _resolve_obs_flags(args) or bool(args.attrib_out)
     matrices = (None if args.matrices is None
                 else [name.strip() for name in args.matrices.split(",")
                       if name.strip()])
@@ -352,7 +454,8 @@ def _cmd_sweep(args) -> int:
                       scale=args.scale, precision=args.precision,
                       num_cubes=args.cubes, platform=args.platform,
                       mode=args.mode, with_energy=args.energy,
-                      channels=args.channels, strategy=args.strategy)
+                      channels=args.channels, strategy=args.strategy,
+                      attrib=want_attrib or None)
     result = run_sweep(jobs, workers=args.workers,
                        cache_dir=args.cache_dir,
                        use_cache=not args.no_cache,
@@ -361,6 +464,14 @@ def _cmd_sweep(args) -> int:
     print(result.summary_table(
         title=f"sweep: {len(jobs)} {kernel} jobs over "
               f"{len(set(job.matrix for job in jobs))} matrices"))
+    if want_attrib:
+        reports = result.attrib_reports()
+        if reports:
+            print()
+            print(obs.render_bundle_summary(reports))
+        if args.attrib_out:
+            path = obs.save_reports(args.attrib_out, reports)
+            print(f"\nattrib: wrote {len(reports)} report(s) to {path}")
     return 0
 
 
@@ -418,6 +529,86 @@ def _cmd_tune(args) -> int:
                         "aggregate speedup"], summary,
                        title=f"suite aggregate over {len(names)} "
                              f"matrices ({wall:.1f} s)"))
+    return 0
+
+
+def _build_attrib_reports(args) -> dict:
+    """Run the requested workloads and build their RunReport bundle."""
+    from .config import default_system, resolve_channels, resolve_strategy
+    from .core import plan_spmv
+    from .core.sptrsv import ildu, run_sptrsv
+    from .formats import matrices_for
+    from .sweep import resolve_bench_scale
+    config = default_system()
+    channels = resolve_channels(args.channels)
+    strategy = resolve_strategy(args.strategy)
+    scale = resolve_bench_scale() if args.scale is None else args.scale
+    if args.mtx:
+        sources = [(args.mtx, read_matrix_market(args.mtx))]
+    else:
+        names = (matrices_for(args.kernel) if args.matrices is None
+                 else [n.strip() for n in args.matrices.split(",")
+                       if n.strip()])
+        sources = [(name, generate(name, scale=scale)) for name in names]
+    reports = {}
+    for name, matrix in sources:
+        if args.kernel == "spmv":
+            _, _, execution = plan_spmv(
+                matrix, config, precision=args.precision,
+                validate=False, channels=channels, strategy=strategy)
+            attribution, perf = obs.attribute_spmv(execution, config,
+                                                   mode=args.mode)
+            kind = "spmv"
+        else:
+            tri = ildu(matrix).lower
+            b = np.random.default_rng(args.seed).random(tri.shape[0])
+            execution = run_sptrsv(tri, b, config,
+                                   precision=args.precision,
+                                   channels=channels,
+                                   strategy=strategy).execution
+            attribution, perf = obs.attribute_sptrsv(execution, config)
+            kind = "sptrsv"
+        label = f"{kind}/{name}"
+        reports[label] = obs.build_run_report(
+            attribution, perf, label=label, kind=kind, matrix=name,
+            mode=args.mode if kind == "spmv" else "ab",
+            channels=channels, strategy=strategy,
+            precision=args.precision, config=config,
+            alu_operations=2 * execution.total_elements)
+    return reports
+
+
+def _cmd_attrib(args) -> int:
+    reports = _build_attrib_reports(args)
+    if args.quiet or len(reports) > 1:
+        print(obs.render_bundle_summary(reports))
+    if not args.quiet:
+        for label in sorted(reports):
+            print()
+            print(obs.render_report(reports[label]))
+    if args.out:
+        path = obs.save_reports(args.out, reports)
+        print(f"\nattrib: wrote {len(reports)} report(s) to {path}")
+    if args.html:
+        from pathlib import Path
+        html_path = Path(args.html)
+        html_path.parent.mkdir(parents=True, exist_ok=True)
+        html_path.write_text(obs.render_html(reports))
+        print(f"attrib: wrote HTML report to {html_path}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    base = obs.load_reports(args.base)
+    new = obs.load_reports(args.new)
+    diff = obs.diff_reports(base, new)
+    print(obs.render_diff(diff, top=args.top))
+    if args.fail_above is not None and diff.total_base > 0:
+        pct = 100.0 * diff.total_delta / diff.total_base
+        if pct > args.fail_above:
+            print(f"\ndiff: FAIL total cycles regressed {pct:+.2f}% "
+                  f"(> {args.fail_above}%)", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -171,6 +171,55 @@ def resolve_channels(explicit: Optional[int] = None) -> Optional[int]:
     return value
 
 
+#: Environment variable enabling observability recording (see
+#: :mod:`repro.obs`); mirrored here so CLI flag resolution lives next to
+#: the other ``PSYNCPIM_*`` precedence helpers without importing obs.
+OBS_ENV = "PSYNCPIM_OBS"
+
+#: Environment variable enabling cycle attribution
+#: (:mod:`repro.obs.attrib`) on runs that support it.
+ATTRIB_ENV = "PSYNCPIM_ATTRIB"
+
+#: Spellings accepted by the boolean ``PSYNCPIM_*`` switches. Duplicated
+#: from :func:`repro.obs.recorder.env_enabled` (config must stay
+#: import-free of obs, which imports back into the core for pricing).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def _resolve_switch(explicit: Optional[bool], env: str) -> bool:
+    """Shared precedence for boolean switches: explicit arg > env var."""
+    if explicit is not None:
+        return bool(explicit)
+    text = os.environ.get(env, "").strip().lower()
+    if text in _TRUTHY:
+        return True
+    if text in _FALSY:
+        return False
+    raise ConfigError(
+        f"{env} must be one of {sorted(_TRUTHY | _FALSY)!r}, "
+        f"got {text!r}")
+
+
+def resolve_obs(explicit: Optional[bool] = None) -> bool:
+    """Resolve the observability switch: explicit arg > ``PSYNCPIM_OBS``.
+
+    Mirrors :func:`resolve_channels`; garbage env values raise
+    :class:`ConfigError` instead of silently running unobserved.
+    """
+    return _resolve_switch(explicit, OBS_ENV)
+
+
+def resolve_attrib(explicit: Optional[bool] = None) -> bool:
+    """Resolve the cycle-attribution switch: explicit arg >
+    ``PSYNCPIM_ATTRIB``.
+
+    Attribution is post-hoc over the priced trace and adds a few percent
+    to scheduling time, so it stays opt-in like :func:`resolve_obs`.
+    """
+    return _resolve_switch(explicit, ATTRIB_ENV)
+
+
 #: Precision name -> element size in bytes, for every precision the VALU
 #: supports (Table VIII: INT8 through FP64).
 PRECISION_BYTES: Dict[str, int] = {

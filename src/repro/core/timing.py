@@ -54,7 +54,8 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
                 with_energy: bool = False, alu_operations: int = 0,
                 precision: str = "fp64",
                 enable_refresh: bool = True,
-                channels: Optional[int] = None) -> PerfReport:
+                channels: Optional[int] = None,
+                collector=None) -> PerfReport:
     """Schedule *trace* under the platform's full channel hierarchy.
 
     ``channels=None`` is the representative-channel model: the trace
@@ -63,6 +64,10 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
     carry explicit channel ids — the scheduler clocks each channel
     independently (total cycles = max over channels) and command energy is
     already per-channel-exact, so only the cube count multiplies it.
+
+    ``collector`` is handed to :meth:`MemoryController.run` so cycle
+    attribution (:mod:`repro.obs.attrib`) can observe the one scheduling
+    pass; pricing itself is unaffected.
     """
     host_columns = sum(count for cmd, count in map(as_run, trace)
                        if cmd.kind.is_column and cmd.tag in HOST_TAGS)
@@ -72,7 +77,8 @@ def price_trace(trace: List[TraceEntry], config: SystemConfig,
         enable_refresh=enable_refresh)
     with obs.span("price_trace", cat="dram", entries=len(trace)):
         result = controller.run(trace, with_energy=with_energy,
-                                host_column_traffic=host_columns)
+                                host_column_traffic=host_columns,
+                                collector=collector)
     if with_energy and result.energy is not None:
         # Representative model: the trace covers one channel and every
         # channel of the cube runs the same schedule, so command and

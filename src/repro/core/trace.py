@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, NamedTuple, Optional
 
 from ..config import SystemConfig, element_size
 from ..dram import Command, CommandRun, CommandType, TraceEntry
@@ -123,6 +123,65 @@ def _column_run(all_bank: bool, write: bool, row: int, count: int,
     command = _column(all_bank, write, row, col, bank=bank, tag=tag,
                       channel=channel)
     return [command] if count == 1 else [CommandRun(command, count)]
+
+
+# ----------------------------------------------------------------------
+# timeline segments
+# ----------------------------------------------------------------------
+class TraceSegment(NamedTuple):
+    """Half-open entry-index range ``[start, end)`` of one timeline phase.
+
+    Labels are dotted ``<group>.<phase>`` pairs — ``r3.kernel`` (SpMV round
+    3's AB-PIM phase), ``L7.broadcast`` (SpTRSV level 7's solved-value
+    broadcast), ``U1.r0.stage`` (an update SpMV's staging) — so consumers
+    can aggregate per group (critical path over rounds/levels) or per
+    phase suffix (stage/seam/kernel/merge timeline decomposition).
+    """
+
+    label: str
+    channel: int
+    start: int
+    end: int
+
+
+class SegmentedTrace(NamedTuple):
+    """A command trace plus the labelled phase segments that tile it.
+
+    Segments cover every entry exactly once and appear in trace order, so
+    replaying the trace while sampling the per-channel clock at segment
+    boundaries reconstructs the full phase timeline (``repro.obs.attrib``
+    does exactly this).
+    """
+
+    trace: List[TraceEntry]
+    segments: List[TraceSegment]
+
+
+class _SegmentBuilder:
+    """Accumulates trace entries under labelled, index-aligned segments."""
+
+    def __init__(self) -> None:
+        self.trace: List[TraceEntry] = []
+        self.segments: List[TraceSegment] = []
+
+    def add(self, label: str, channel: int,
+            entries: List[TraceEntry]) -> None:
+        start = len(self.trace)
+        self.trace.extend(entries)
+        if len(self.trace) > start:
+            self.segments.append(
+                TraceSegment(label, channel, start, len(self.trace)))
+
+    def splice(self, sub: SegmentedTrace) -> None:
+        """Append another segmented trace, re-basing its entry indices."""
+        base = len(self.trace)
+        self.trace.extend(sub.trace)
+        self.segments.extend(
+            TraceSegment(s.label, s.channel, s.start + base, s.end + base)
+            for s in sub.segments)
+
+    def done(self) -> SegmentedTrace:
+        return SegmentedTrace(self.trace, self.segments)
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +287,50 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
 # ----------------------------------------------------------------------
 # SpMV traces
 # ----------------------------------------------------------------------
+def spmv_ab_segments(execution: SpmvExecution, config: SystemConfig,
+                     params: TraceParams = TraceParams(),
+                     channel: int = 0,
+                     banks: Optional[int] = None,
+                     prefix: str = "") -> SegmentedTrace:
+    """All-bank SpMV schedule with its per-round phase segments.
+
+    Per round: ``r<N>.stage`` (SB host staging), ``r<N>.seam`` (mode
+    switches + kernel programming), ``r<N>.kernel`` (the AB-PIM phase)
+    and ``r<N>.merge`` (the exit switch + host merge). *prefix* namespaces
+    the labels when the SpMV is embedded in a larger schedule (SpTRSV
+    updates).
+    """
+    banks = banks if banks is not None else execution.banks_per_channel
+    vb = element_size(execution.precision)
+    eb = execution.stream_bytes_per_element
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    out = _SegmentBuilder()
+    for r, round_elems in enumerate(execution.round_batches):
+        # host stages this round's input segments (SB mode, external bus)
+        out.add(f"{prefix}r{r}.stage", channel,
+                host_stage(execution.round_x_lengths[r] * vb, write=True,
+                           row=INPUT_ROW, tag="stage_x", channel=channel,
+                           banks=banks))
+        # SB -> AB: program; AB -> AB-PIM: execute
+        out.add(f"{prefix}r{r}.seam", channel,
+                mode_switch(channel) + program_load(params, channel=channel)
+                + mode_switch(channel))
+        phase = rf_batch * params.queue_phases
+        batches = max(1, math.ceil(round_elems / phase))
+        out.add(f"{prefix}r{r}.kernel", channel,
+                _kernel_batches(batches, phase, eb, params,
+                                all_bank=True,
+                                y_bytes=execution.round_y_lengths[r] * vb,
+                                channel=channel))
+        # AB-PIM -> SB, then the host merges the round's output partials
+        out.add(f"{prefix}r{r}.merge", channel,
+                mode_switch(channel)
+                + host_stage(execution.round_y_lengths[r] * vb, write=False,
+                             row=OUTPUT_ROW, tag="merge_y", channel=channel,
+                             banks=banks))
+    return out.done()
+
+
 def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
                   params: TraceParams = TraceParams(),
                   channel: int = 0,
@@ -240,32 +343,51 @@ def spmv_ab_trace(execution: SpmvExecution, config: SystemConfig,
     staging fans over) defaults to the execution record's
     ``banks_per_channel``.
     """
+    return spmv_ab_segments(execution, config, params, channel=channel,
+                            banks=banks).trace
+
+
+def spmv_pb_segments(execution: SpmvExecution, config: SystemConfig,
+                     params: TraceParams = TraceParams(),
+                     channel: int = 0,
+                     banks: Optional[int] = None,
+                     prefix: str = "") -> SegmentedTrace:
+    """Per-bank SpMV schedule with per-round phase segments.
+
+    The kernel segment covers every bank's single-bank arm (each bank's
+    mode switch + stream); stage/merge match the AB labels so the two
+    modes diff phase-by-phase.
+    """
     banks = banks if banks is not None else execution.banks_per_channel
     vb = element_size(execution.precision)
     eb = execution.stream_bytes_per_element
     rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    trace: List[TraceEntry] = []
-    for r, round_elems in enumerate(execution.round_batches):
-        # host stages this round's input segments (SB mode, external bus)
-        trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
-                            row=INPUT_ROW, tag="stage_x", channel=channel,
-                            banks=banks)
-        # SB -> AB: program; AB -> AB-PIM: execute
-        trace += mode_switch(channel)
-        trace += program_load(params, channel=channel)
-        trace += mode_switch(channel)
-        phase = rf_batch * params.queue_phases
-        batches = max(1, math.ceil(round_elems / phase))
-        trace += _kernel_batches(batches, phase, eb, params,
-                                 all_bank=True,
-                                 y_bytes=execution.round_y_lengths[r] * vb,
-                                 channel=channel)
-        trace += mode_switch(channel)  # AB-PIM -> SB
-        # host merges the round's output partials (remote accumulation)
-        trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
-                            row=OUTPUT_ROW, tag="merge_y", channel=channel,
-                            banks=banks)
-    return trace
+    per_bank = _representative_channel_loads(execution, banks)
+    rounds = max(1, execution.num_rounds)
+    out = _SegmentBuilder()
+    for r in range(rounds):
+        out.add(f"{prefix}r{r}.stage", channel,
+                host_stage(execution.round_x_lengths[r] * vb, write=True,
+                           row=INPUT_ROW, tag="stage_x", channel=channel,
+                           banks=banks))
+        arms: List[TraceEntry] = []
+        for bank, elements in enumerate(per_bank):
+            share = elements / rounds
+            if share <= 0:
+                continue
+            arms += mode_switch(channel)  # per-bank kernel arm
+            phase = rf_batch * params.queue_phases
+            batches = max(1, math.ceil(share / phase))
+            arms += _kernel_batches(
+                batches, phase, eb, params, all_bank=False, bank=bank,
+                y_bytes=execution.round_y_lengths[r] * vb, channel=channel)
+        out.add(f"{prefix}r{r}.kernel", channel, arms)
+        out.add(f"{prefix}r{r}.merge", channel,
+                mode_switch(channel)
+                + host_stage(execution.round_y_lengths[r] * vb, write=False,
+                             row=OUTPUT_ROW, tag="merge_y", channel=channel,
+                             banks=banks))
+    return out.done()
 
 
 def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
@@ -279,32 +401,8 @@ def spmv_pb_trace(execution: SpmvExecution, config: SystemConfig,
     elements (no lock-step padding — PB's one advantage). *banks*
     defaults to the execution record's ``banks_per_channel``.
     """
-    banks = banks if banks is not None else execution.banks_per_channel
-    vb = element_size(execution.precision)
-    eb = execution.stream_bytes_per_element
-    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    per_bank = _representative_channel_loads(execution, banks)
-    rounds = max(1, execution.num_rounds)
-    trace: List[TraceEntry] = []
-    for r in range(rounds):
-        trace += host_stage(execution.round_x_lengths[r] * vb, write=True,
-                            row=INPUT_ROW, tag="stage_x", channel=channel,
-                            banks=banks)
-        for bank, elements in enumerate(per_bank):
-            share = elements / rounds
-            if share <= 0:
-                continue
-            trace += mode_switch(channel)  # per-bank kernel arm
-            phase = rf_batch * params.queue_phases
-            batches = max(1, math.ceil(share / phase))
-            trace += _kernel_batches(
-                batches, phase, eb, params, all_bank=False, bank=bank,
-                y_bytes=execution.round_y_lengths[r] * vb, channel=channel)
-        trace += mode_switch(channel)
-        trace += host_stage(execution.round_y_lengths[r] * vb, write=False,
-                            row=OUTPUT_ROW, tag="merge_y", channel=channel,
-                            banks=banks)
-    return trace
+    return spmv_pb_segments(execution, config, params, channel=channel,
+                            banks=banks).trace
 
 
 def spmv_channels_trace(execution: SpmvExecution, config: SystemConfig,
@@ -317,18 +415,26 @@ def spmv_channels_trace(execution: SpmvExecution, config: SystemConfig,
     clocks, so total time is the max over channels, not the sum. Shards
     with no elements emit nothing (an idle channel issues no commands).
     """
+    return spmv_channels_segments(execution, config, params,
+                                  mode=mode).trace
+
+
+def spmv_channels_segments(execution: SpmvExecution, config: SystemConfig,
+                           params: TraceParams = TraceParams(),
+                           mode: str = "ab") -> SegmentedTrace:
+    """Segmented form of :func:`spmv_channels_trace` (same trace)."""
     if not execution.channel_execs:
         raise MappingError(
             "spmv_channels_trace needs a channel-sharded execution "
             "(plan_spmv(..., channels=C))")
-    synth = spmv_ab_trace if mode == "ab" else spmv_pb_trace
-    trace: List[TraceEntry] = []
+    synth = spmv_ab_segments if mode == "ab" else spmv_pb_segments
+    out = _SegmentBuilder()
     for ch, sub in enumerate(execution.channel_execs):
         if sub.total_elements == 0:
             continue
-        trace += synth(sub, config, params, channel=ch,
-                       banks=execution.banks_per_channel)
-    return trace
+        out.splice(synth(sub, config, params, channel=ch,
+                         banks=execution.banks_per_channel))
+    return out.done()
 
 
 def _representative_channel_loads(execution: SpmvExecution,
@@ -363,6 +469,61 @@ def _queue_batch(precision: str, subqueue_bytes: int = 64) -> int:
 # ----------------------------------------------------------------------
 # SpTRSV trace
 # ----------------------------------------------------------------------
+def sptrsv_ab_segments(execution: SpTrsvExecution, config: SystemConfig,
+                       params: TraceParams = TraceParams(),
+                       channel: int = 0,
+                       host_channels: Optional[int] = None
+                       ) -> SegmentedTrace:
+    """Segmented §VI-C flow: per level ``L<N>.merge`` (SB read of solved
+    values), ``L<N>.broadcast`` (mode switch + broadcast + programming) and
+    ``L<N>.kernel`` (the AB-PIM level kernel with its exit switch); the
+    recursive update SpMVs follow under ``U<K>.r<N>.*`` labels. The level
+    chain is the dependency spine the critical-path analysis walks.
+    """
+    vb = element_size(execution.precision)
+    eb = element_bytes(execution.precision)
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    if host_channels is None:
+        host_channels = config.memory.num_pseudo_channels
+    num_channels = host_channels * config.num_cubes
+    out = _SegmentBuilder()
+    for level in range(execution.num_levels):
+        width = execution.level_widths[level]
+        batch_elems = execution.level_batches[level]
+        # 1) SB mode: read the solved values of this level's columns
+        out.add(f"L{level}.merge", channel,
+                host_stage(max(1.0, width * vb / num_channels),
+                           write=False, row=OUTPUT_ROW, tag="read_b",
+                           channel=channel))
+        # 2) AB mode: broadcast them + program the kernel
+        bcast: List[TraceEntry] = list(mode_switch(channel))
+        bcast.append(Command(CommandType.ACT_AB, row=INPUT_ROW,
+                             channel=channel))
+        bcast += _column_run(True, True, INPUT_ROW, _beats(width * vb),
+                             tag="broadcast", channel=channel)
+        bcast.append(Command(CommandType.PRE_AB, channel=channel))
+        bcast += program_load(params, channel=channel)
+        out.add(f"L{level}.broadcast", channel, bcast)
+        # 3) AB-PIM: the scalar-multiply level kernel (Algorithm 3)
+        kernel: List[TraceEntry] = list(mode_switch(channel))
+        if batch_elems > 0:
+            phase = rf_batch * params.queue_phases
+            batches = max(1, math.ceil(batch_elems / phase))
+            # a level updates at most one output row per element it holds
+            y_bytes = min(min(execution.leaf_size, execution.n),
+                          batch_elems) * vb
+            kernel += _kernel_batches(batches, phase, eb, params,
+                                      all_bank=True, y_bytes=y_bytes,
+                                      channel=channel)
+        kernel += mode_switch(channel)  # back to SB for the next level
+        out.add(f"L{level}.kernel", channel, kernel)
+    # the recursive off-diagonal updates are ordinary SpMVs
+    for u, update in enumerate(execution.update_execs):
+        out.splice(spmv_ab_segments(update, config, params, channel=channel,
+                                    prefix=f"U{u}."))
+    return out.done()
+
+
 def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
                     params: TraceParams = TraceParams(),
                     channel: int = 0,
@@ -374,44 +535,8 @@ def sptrsv_ab_trace(execution: SpTrsvExecution, config: SystemConfig,
     representative-channel default assumes every platform channel
     participates symmetrically.
     """
-    vb = element_size(execution.precision)
-    eb = element_bytes(execution.precision)
-    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
-    if host_channels is None:
-        host_channels = config.memory.num_pseudo_channels
-    num_channels = host_channels * config.num_cubes
-    trace: List[TraceEntry] = []
-    for level in range(execution.num_levels):
-        width = execution.level_widths[level]
-        batch_elems = execution.level_batches[level]
-        # 1) SB mode: read the solved values of this level's columns
-        trace += host_stage(max(1.0, width * vb / num_channels),
-                            write=False, row=OUTPUT_ROW, tag="read_b",
-                            channel=channel)
-        # 2) AB mode: broadcast them + program the kernel
-        trace += mode_switch(channel)
-        trace.append(Command(CommandType.ACT_AB, row=INPUT_ROW,
-                             channel=channel))
-        trace += _column_run(True, True, INPUT_ROW, _beats(width * vb),
-                             tag="broadcast", channel=channel)
-        trace.append(Command(CommandType.PRE_AB, channel=channel))
-        trace += program_load(params, channel=channel)
-        # 3) AB-PIM: the scalar-multiply level kernel (Algorithm 3)
-        trace += mode_switch(channel)
-        if batch_elems > 0:
-            phase = rf_batch * params.queue_phases
-            batches = max(1, math.ceil(batch_elems / phase))
-            # a level updates at most one output row per element it holds
-            y_bytes = min(min(execution.leaf_size, execution.n),
-                          batch_elems) * vb
-            trace += _kernel_batches(batches, phase, eb, params,
-                                     all_bank=True, y_bytes=y_bytes,
-                                     channel=channel)
-        trace += mode_switch(channel)  # back to SB for the next level
-    # the recursive off-diagonal updates are ordinary SpMVs
-    for update in execution.update_execs:
-        trace += spmv_ab_trace(update, config, params, channel=channel)
-    return trace
+    return sptrsv_ab_segments(execution, config, params, channel=channel,
+                              host_channels=host_channels).trace
 
 
 def sptrsv_channels_trace(execution: SpTrsvExecution, config: SystemConfig,
@@ -424,15 +549,28 @@ def sptrsv_channels_trace(execution: SpTrsvExecution, config: SystemConfig,
     explicit inter-channel reduction seam), so no shard is skipped: an
     idle channel still pays the broadcast and mode traffic of each level.
     """
+    return sptrsv_channels_segments(execution, config, params).trace
+
+
+def sptrsv_channels_segments(execution: SpTrsvExecution,
+                             config: SystemConfig,
+                             params: TraceParams = TraceParams(),
+                             ) -> SegmentedTrace:
+    """Segmented form of :func:`sptrsv_channels_trace` (same trace).
+
+    Every channel emits the same ``L<N>.*`` labels, so each level's
+    per-channel durations line up for barrier-accurate critical-path and
+    slack analysis.
+    """
     if not execution.channel_execs:
         raise MappingError(
             "sptrsv_channels_trace needs a channel-sharded execution "
             "(run_sptrsv(..., channels=C))")
-    trace: List[TraceEntry] = []
+    out = _SegmentBuilder()
     for ch, sub in enumerate(execution.channel_execs):
-        trace += sptrsv_ab_trace(sub, config, params, channel=ch,
-                                 host_channels=execution.num_channels)
-    return trace
+        out.splice(sptrsv_ab_segments(sub, config, params, channel=ch,
+                                      host_channels=execution.num_channels))
+    return out.done()
 
 
 # ----------------------------------------------------------------------

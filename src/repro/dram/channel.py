@@ -340,6 +340,7 @@ class ChannelScheduler:
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
             "refreshes": self.refreshes_performed,
+            "mode_switches": self.counts[CommandType.MODE],
         }
 
     # ------------------------------------------------------------------

@@ -113,7 +113,8 @@ class MemoryController:
             with_energy: bool = False,
             host_column_traffic: int = 0,
             alu_operations: int = 0,
-            precision: str = "fp64") -> ScheduleResult:
+            precision: str = "fp64",
+            collector=None) -> ScheduleResult:
         """Schedule *trace* and return cycle counts (and optionally energy).
 
         *trace* may mix plain :class:`Command` entries with
@@ -125,6 +126,13 @@ class MemoryController:
         the energy model only; they describe how much of the column traffic
         crossed the external interface and how much PU compute the trace's
         PIM phases performed.
+
+        ``collector`` (e.g. an
+        :class:`repro.obs.attrib.AttributionCollector`) is a passive
+        observer whose ``observe(command, count, last, refreshes)`` hook
+        sees every entry's issue outcome as it prices — the attribution
+        engine rides the one scheduling pass instead of re-running it.
+        Issue decisions are never affected.
         """
         channels: Dict[int, ChannelScheduler] = {}
         counts: Dict[CommandType, int] = {k: 0 for k in CommandType}
@@ -162,6 +170,9 @@ class MemoryController:
             last_cycle[command.channel] = last
             counts[command.kind] += count
             total += count
+            if collector is not None:
+                collector.observe(command, count, last,
+                                  sched.refreshes_performed)
 
         per_channel = {ch: sched.now for ch, sched in channels.items()}
         total_cycles = max(per_channel.values()) if per_channel else 0

@@ -151,12 +151,33 @@ def default_dir():
     return default_obs_dir()
 
 
+# Imported last on purpose: the attribution engine reaches back into
+# repro.dram, whose modules import this package for the span/counter
+# helpers above — those must already be defined when the cycle closes.
+from . import attrib, report  # noqa: E402
+from .attrib import (ATTRIB_VERSION, CATEGORIES,  # noqa: E402
+                     Attribution, AttributionCollector, CriticalPath,
+                     attribute_spmv, attribute_sptrsv, attribute_trace,
+                     category_of, critical_path, phase_cycles,
+                     spmv_useful_loads, sptrsv_useful_loads)
+from .report import (REPORT_VERSION, BundleDiff,  # noqa: E402
+                     DiffEntry, RunReport, build_run_report, diff_reports,
+                     load_reports, render_bundle_summary, render_diff,
+                     render_html, render_report, save_reports)
+
 __all__ = [
+    "ATTRIB_VERSION", "Attribution", "AttributionCollector",
+    "BundleDiff", "CATEGORIES", "CriticalPath", "DiffEntry",
     "MAX_BANK_SERIES", "OBS_DIR_ENV", "OBS_ENV", "Mark", "Recorder",
-    "SpanEvent",
-    "add_bank_counter", "add_counter", "chrome_trace", "default_dir",
-    "default_obs_dir", "disable", "enable", "enabled", "env_enabled",
-    "export", "export_all", "load_metrics", "metrics_dict",
-    "metrics_rows", "profiled", "recorder", "render_profile", "reset",
-    "set_gauge", "span", "span_summary",
+    "REPORT_VERSION", "RunReport", "SpanEvent",
+    "add_bank_counter", "add_counter", "attribute_spmv",
+    "attribute_sptrsv", "attribute_trace", "build_run_report",
+    "category_of", "chrome_trace", "critical_path", "default_dir",
+    "default_obs_dir", "diff_reports", "disable", "enable", "enabled",
+    "env_enabled", "export", "export_all", "load_metrics", "load_reports",
+    "metrics_dict", "metrics_rows", "phase_cycles", "profiled",
+    "recorder", "render_bundle_summary", "render_diff", "render_html",
+    "render_profile", "render_report", "reset", "save_reports",
+    "set_gauge", "span", "span_summary", "spmv_useful_loads",
+    "sptrsv_useful_loads",
 ]

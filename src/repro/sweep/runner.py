@@ -30,7 +30,8 @@ import numpy as np
 from ..analysis.report import JobRecord, SweepResult
 from .. import obs
 from ..config import (SystemConfig, default_system, gddr6_aim_system,
-                      resolve_batch, resolve_channels, resolve_strategy)
+                      resolve_attrib, resolve_batch, resolve_channels,
+                      resolve_strategy)
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
 from ..core.timing import PerfReport, price_trace
@@ -123,6 +124,10 @@ class SweepJob:
     #: Partitioning strategy (None resolves through
     #: :func:`repro.config.resolve_strategy`; "auto" tunes per matrix).
     strategy: Optional[str] = None
+    #: Cycle attribution: build a :class:`repro.obs.report.RunReport`
+    #: alongside the PerfReport (None resolves through
+    #: :func:`repro.config.resolve_attrib` / ``PSYNCPIM_ATTRIB``).
+    attrib: Optional[bool] = None
     label: str = ""
 
     def resolved_label(self) -> str:
@@ -220,6 +225,24 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
         extras["channels"] = channels
     if strategy != "paper":
         extras["strategy"] = strategy
+    if resolve_attrib(job.attrib):
+        from ..obs.attrib import ATTRIB_VERSION, attribute_spmv
+        from ..obs.report import build_run_report
+
+        def compute_attrib():
+            attribution, perf = attribute_spmv(
+                execution, config, mode=job.mode,
+                with_energy=job.with_energy)
+            return build_run_report(
+                attribution, perf, label=job.resolved_label(),
+                kind="spmv", matrix=job.matrix, mode=job.mode,
+                channels=channels, strategy=strategy,
+                precision=job.precision, config=config,
+                alu_operations=2 * execution.total_elements)
+
+        extras["_attrib"] = cache.get_or_compute(
+            "attrib", cache.key("spmv-attrib", schedule_key,
+                                ATTRIB_VERSION), compute_attrib)
     return report, extras
 
 
@@ -281,6 +304,23 @@ def _sptrsv_pipeline(job: SweepJob, cache: ArtifactCache,
         extras["channels"] = channels
     if strategy != "paper":
         extras["strategy"] = strategy
+    if resolve_attrib(job.attrib):
+        from ..obs.attrib import ATTRIB_VERSION, attribute_sptrsv
+        from ..obs.report import build_run_report
+
+        def compute_attrib():
+            attribution, perf = attribute_sptrsv(
+                execution, config, with_energy=job.with_energy)
+            return build_run_report(
+                attribution, perf, label=job.resolved_label(),
+                kind="sptrsv", matrix=job.matrix,
+                channels=channels, strategy=strategy,
+                precision=job.precision, config=config,
+                alu_operations=2 * execution.total_elements)
+
+        extras["_attrib"] = cache.get_or_compute(
+            "attrib", cache.key("sptrsv-attrib", schedule_key,
+                                ATTRIB_VERSION), compute_attrib)
     return report, extras
 
 
@@ -400,13 +440,15 @@ def execute_job(job: SweepJob,
         if error:
             obs.add_counter("sweep.job_failures", 1)
         metrics = obs.recorder().delta_since(mark)
+    attrib_report = extras.pop("_attrib", None)
     return JobRecord(label=label, kernel=job.kernel,
                      matrix=job.matrix, report=report,
                      seconds=report.seconds if report else 0.0,
                      wall_seconds=wall, cache_hits=cache.hit_count,
                      cache_misses=cache.miss_count,
                      worker=f"pid-{os.getpid()}", extras=extras, job=job,
-                     error=error, traceback=tb_text, metrics=metrics)
+                     error=error, traceback=tb_text, metrics=metrics,
+                     attrib=attrib_report)
 
 
 def _batch_key(job: SweepJob) -> tuple:
@@ -419,7 +461,7 @@ def _batch_key(job: SweepJob) -> tuple:
     return (job.kernel, job.scale, job.precision, job.num_cubes,
             job.platform, job.mode, job.compress, job.policy,
             job.matrix_format, job.with_energy, job.channels,
-            job.strategy)
+            job.strategy, job.attrib)
 
 
 def _batch_groups(jobs: Sequence[SweepJob]) -> "list[list[int]]":

@@ -3,7 +3,8 @@
 
 The perf microbenchmarks (``test_perf_engine.py``, ``test_perf_plan.py``,
 ``test_perf_fuzz.py``, ``test_perf_channels.py``,
-``test_perf_partition.py``, ``test_perf_attrib.py``) each write a
+``test_perf_partition.py``, ``test_perf_attrib.py``,
+``test_perf_spmm.py``) each write a
 ``benchmarks/results/BENCH_*.json``
 with a ``speedups`` section. Those speedups are *ratios* between two
 implementations measured on the same machine in the same run, so they
@@ -56,6 +57,7 @@ PINNED = {
                         "level_schedule", "combined"),
     "BENCH_fuzz.json": ("execution",),
     "BENCH_channels.json": ("channels_16v1", "channels_4v1"),
+    "BENCH_spmm.json": ("amortisation_16v1", "amortisation_4v1"),
     "BENCH_partition.json": ("auto_vs_paper",),
     # plain-pricing over pricing-with-collector: ~1.0 when attribution
     # observation stays free; a drop means the collector got expensive.

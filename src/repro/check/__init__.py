@@ -16,8 +16,8 @@ produce results (DESIGN.md, "three-oracle strategy"):
 """
 
 from .fuzz import (FuzzCase, build_case, fuzz_batch, fuzz_range,
-                   generate_case, run_batch_group, run_case, run_single,
-                   shrink_case, vary_case)
+                   generate_case, generate_spmm_case, run_batch_group,
+                   run_case, run_single, shrink_case, vary_case)
 from .golden import (build_record, compare_golden, default_golden_dir,
                      golden_traces, update_golden)
 from .protocol import (ProtocolChecker, Violation, check_timed,
@@ -38,6 +38,7 @@ __all__ = [
     "fuzz_batch",
     "fuzz_range",
     "generate_case",
+    "generate_spmm_case",
     "golden_traces",
     "run_batch_group",
     "run_case",

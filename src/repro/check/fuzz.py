@@ -58,7 +58,7 @@ MAX_BEATS = 5000
 class BlockSpec:
     """One kernel block. Fields unused by a kind keep their defaults."""
 
-    kind: str                      # dense | spmv | gather | merge
+    kind: str                      # dense | spmv | gather | merge | spmm
     op: BinaryOp = BinaryOp.ADD
     reduce_op: BinaryOp = BinaryOp.ADD
     queue: int = 0                 # primary (load-target) SpVQ
@@ -91,10 +91,16 @@ class FuzzCase:
     stream_len: int
     blocks: Tuple[BlockSpec, ...]
     data_seed: Optional[int] = None
+    #: Name of the generator that produced this case — keeps reproducer
+    #: strings exact for cases from the SpMM template universe
+    #: (:func:`generate_spmm_case`), whose seeds deliberately do NOT
+    #: collide with the classic :func:`generate_case` stream.
+    generator: str = "generate_case"
 
     def reproducer(self) -> str:
-        make = (f"generate_case({self.seed})" if self.data_seed is None
-                else f"vary_case(generate_case({self.seed}), "
+        make = (f"{self.generator}({self.seed})"
+                if self.data_seed is None
+                else f"vary_case({self.generator}({self.seed}), "
                      f"{self.data_seed})")
         return (f"repro.check.fuzz.run_case({make}) "
                 f"[precision={self.precision} banks={self.num_banks} "
@@ -151,6 +157,50 @@ def generate_case(seed: int) -> FuzzCase:
         ))
     return FuzzCase(seed=seed, precision=precision, num_banks=num_banks,
                     stream_len=stream_len, blocks=tuple(blocks))
+
+
+def generate_spmm_case(seed: int) -> FuzzCase:
+    """Draw a random multi-rhs SpMM-template case from *seed*.
+
+    The template mirrors the SpMM workload shape: one ``"spmm"`` block —
+    a resident matrix stream re-read once per right-hand-side column,
+    each column doing a scalar-vector compute and a dense-block
+    scatter-accumulate into its own output, all under one CEXIT-guarded
+    loop — optionally followed by a light dense/gather block so the
+    template interacts with leftover queue state. The RNG stream and the
+    ``"spmm"`` block kind are both unreachable from
+    :func:`generate_case`, so this universe never perturbs the classic
+    seed corpus (golden CI seed ranges stay bitwise stable).
+    """
+    rng = np.random.default_rng((int(seed) << 1) ^ 0x5B11)
+    precision = _PRECISIONS[rng.integers(len(_PRECISIONS))]
+    num_banks = int(rng.integers(1, 5))
+    stream_len = int(rng.integers(6, 33))
+    blocks = [BlockSpec(
+        kind="spmm",
+        op=_COMPUTE_OPS[rng.integers(len(_COMPUTE_OPS))],
+        reduce_op=_REDUCE_OPS[rng.integers(len(_REDUCE_OPS))],
+        queue=int(rng.integers(0, 2)),
+        out_queue=2,
+        ident=(Identity.ZERO, Identity.ONE)[rng.integers(2)],
+        merge_width=int(rng.integers(2, 5)),     # rhs columns
+        int_values=bool(rng.integers(2)),
+    )]
+    if rng.integers(2):
+        blocks.append(BlockSpec(
+            kind=("dense", "gather")[rng.integers(2)],
+            op=_COMPUTE_OPS[rng.integers(len(_COMPUTE_OPS))],
+            reduce_op=_REDUCE_OPS[rng.integers(len(_REDUCE_OPS))],
+            queue=int(rng.integers(0, 2)),
+            out_queue=2,
+            sspv=bool(rng.integers(2)),
+            ident=(Identity.ZERO, Identity.ONE)[rng.integers(2)],
+            repeats=int(rng.integers(1, 3)),
+            int_values=bool(rng.integers(2)),
+        ))
+    return FuzzCase(seed=seed, precision=precision, num_banks=num_banks,
+                    stream_len=stream_len, blocks=tuple(blocks),
+                    generator="generate_spmm_case")
 
 
 # ----------------------------------------------------------------------
@@ -220,7 +270,11 @@ def build_case(case: FuzzCase,
         triple_data[name] = [maker() for _ in range(case.num_banks)]
 
     for bi, block in enumerate(case.blocks):
-        if len(instructions) + 9 > 32:
+        # spmm blocks emit 3 instructions per rhs column plus the loop
+        # pair; every classic kind fits in 9 (the historical budget).
+        need = (3 * block.merge_width + 2 if block.kind == "spmm"
+                else 9)
+        if len(instructions) + need > 32:
             break
         start = len(instructions)
         ints = block.int_values
@@ -342,6 +396,38 @@ def build_case(case: FuzzCase,
                  _Slot(out, write=True))
             emit(CInstruction(Opcode.CEXIT, imm1=0b111))
             count = groups + -(-2 * length // block.merge_width) + 6
+            emit(CInstruction(Opcode.JUMP, imm0=start, order=bi,
+                              imm1=min(count, 1000)))
+        elif block.kind == "spmm":
+            # Multi-rhs SpMM template: one matrix COO stream, re-read
+            # per right-hand-side column (``merge_width`` doubles as the
+            # rhs width); each column multiplies the stream by a scalar
+            # (SRF stands in for its staged x value) and scatter-
+            # accumulates into its own dense output block.
+            q, d = block.queue, block.out_queue
+            width = block.merge_width
+            mats = [_coo(rng, length, ints)
+                    for _ in range(case.num_banks)]
+            for j in range(width):
+                triple_data[f"s{bi}_mat{j}"] = [
+                    (rows.copy(), cols.copy(), vals.copy())
+                    for rows, cols, vals in mats]
+            for j in range(width):
+                acc = f"s{bi}_acc{j}"
+                add_dense(acc, lambda: _values(rng, length, ints))
+                emit(BInstruction(Opcode.SPMOV, dst=_SPVQ[q],
+                                  src0=Operand.BANK, value=fmt),
+                     _Slot(f"s{bi}_mat{j}"))
+                emit(BInstruction(Opcode.SSPV, dst=_SPVQ[d],
+                                  src0=Operand.SRF, src1=_SPVQ[q],
+                                  value=fmt, binary=block.op))
+                emit(BInstruction(Opcode.GTHSCT, dst=Operand.BANK,
+                                  src0=_SPVQ[d], value=fmt,
+                                  idnt=block.ident),
+                     _Slot(acc, write=True))
+            emit(CInstruction(Opcode.CEXIT,
+                              imm1=(1 << q) | (1 << d)))
+            count = width * (groups + 4)
             emit(CInstruction(Opcode.JUMP, imm0=start, order=bi,
                               imm1=min(count, 1000)))
         else:
@@ -745,6 +831,7 @@ def fuzz_batch(seeds: Sequence[int], shrink: bool = True,
                group_size: Optional[int] = None,
                batch: Optional[str] = None,
                config: ProcessingUnitConfig = ProcessingUnitConfig(),
+               generator: Callable[[int], FuzzCase] = generate_case,
                ) -> List[Tuple[int, str]]:
     """Batched differential fuzzing; returns (seed, message) failures.
 
@@ -763,6 +850,11 @@ def fuzz_batch(seeds: Sequence[int], shrink: bool = True,
     (``PSYNCPIM_BATCH``); in ``"off"`` mode the default group size drops
     to 1, which degenerates to the per-seed :func:`fuzz_range` protocol
     over the same seed list — bitwise-identical verdicts, no batching.
+
+    *generator* selects the case universe: the classic
+    :func:`generate_case` (the default) or the SpMM-template
+    :func:`generate_spmm_case` — the two draw from disjoint RNG streams,
+    so the same seed range may safely cover both without correlation.
     """
     seeds = [int(seed) for seed in seeds]
     mode = resolve_batch(batch)
@@ -773,7 +865,7 @@ def fuzz_batch(seeds: Sequence[int], shrink: bool = True,
     groups = 0
     for at in range(0, len(seeds), group_size):
         block = seeds[at:at + group_size]
-        leader = generate_case(block[0])
+        leader = generator(block[0])
         cases = [leader] + [vary_case(leader, seed) for seed in block[1:]]
         groups += 1
         try:

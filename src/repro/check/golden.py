@@ -21,7 +21,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..config import SystemConfig, default_system
-from ..core import (dense_stream_trace, price_trace, run_spmv, run_sptrsv,
+from ..core import (dense_stream_trace, price_trace, run_spmm, run_spmv,
+                    run_sptrsv, spmm_ab_trace, spmm_pb_trace,
                     spmv_ab_trace, spmv_pb_trace, sptrsv_ab_trace)
 from ..core.timing import PerfReport
 from ..dram import TraceEntry, as_run
@@ -58,6 +59,26 @@ def _spmv(mode: str) -> Tuple[List[TraceEntry], PerfReport]:
     return trace, report
 
 
+def _spmm_parts(config: SystemConfig):
+    # The SpMV golden matrix with a 4-column dense rhs block: the plan
+    # (and at k=1 the whole trace) is shared with the spmv workloads.
+    matrix = uniform_random(48, 48, 0.08, seed=11)
+    x = np.random.default_rng(12).random((48, 4))
+    execution = run_spmm(matrix, x, config, engine_banks=4).execution
+    return matrix, execution
+
+
+def _spmm(mode: str) -> Tuple[List[TraceEntry], PerfReport]:
+    config = default_system()
+    matrix, execution = _spmm_parts(config)
+    trace = (spmm_ab_trace if mode == "ab"
+             else spmm_pb_trace)(execution, config)
+    report = price_trace(trace, config, with_energy=True,
+                         alu_operations=2 * matrix.nnz * execution.num_rhs,
+                         precision=execution.precision)
+    return trace, report
+
+
 def _sptrsv() -> Tuple[List[TraceEntry], PerfReport]:
     config = default_system()
     tri = unit_lower_from(uniform_random(40, 40, 0.06, seed=7), seed=8)
@@ -82,6 +103,8 @@ def _dense_stream() -> Tuple[List[TraceEntry], PerfReport]:
 WORKLOADS: Dict[str, Callable[[], Tuple[List[TraceEntry], PerfReport]]] = {
     "spmv_ab": lambda: _spmv("ab"),
     "spmv_pb": lambda: _spmv("pb"),
+    "spmm_ab": lambda: _spmm("ab"),
+    "spmm_pb": lambda: _spmm("pb"),
     "sptrsv_ab": _sptrsv,
     "dense_stream_ab": _dense_stream,
 }

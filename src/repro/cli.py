@@ -5,6 +5,8 @@ Four subcommands cover the common workflows without writing Python:
 * ``info``   — the modelled hardware (Tables VII/VIII, area, baselines).
 * ``suite``  — the Table IX matrix registry.
 * ``spmv``   — run one SpMV and print the plan, timing and energy.
+* ``spmm``   — run one SpMM (k dense right-hand sides through one
+  resident plan) and print the per-column amortisation.
 * ``sptrsv`` — factorise a suite matrix with ILDU and time both solves.
 * ``app``    — run one Table II application on the GPU and PIM backends.
 * ``sweep``  — run a batch of jobs across worker processes with
@@ -43,7 +45,7 @@ from . import __version__, obs
 from .analysis import format_table, table_x_model, unit_area
 from .baselines import GPUModel, SpaceAModel
 from .config import STRATEGY_CHOICES, default_system
-from .core import PSyncPIM, time_spmv
+from .core import PSyncPIM, time_spmm, time_spmv
 from .dram import TimingParams
 from .errors import ReproError
 from .formats import (generate, matrix_spec, read_matrix_market,
@@ -121,6 +123,31 @@ def _build_parser() -> argparse.ArgumentParser:
     _obs_args(spmv)
     spmv.set_defaults(handler=_cmd_spmv)
 
+    spmm = sub.add_parser("spmm",
+                          help="run and price one SpMM (k dense rhs)")
+    _matrix_args(spmm)
+    spmm.add_argument("--rhs", type=int, default=None,
+                      help="dense right-hand-side columns (default: "
+                           "PSYNCPIM_RHS or 1)")
+    spmm.add_argument("--precision", default="fp64",
+                      choices=["fp64", "fp32", "int32", "int16", "int8"])
+    spmm.add_argument("--format", dest="matrix_format", default="coo",
+                      choices=["coo", "csr", "bitmap"])
+    spmm.add_argument("--cubes", type=int, default=1)
+    spmm.add_argument("--channels", type=int, default=None,
+                      help="shard across N explicitly modelled channels "
+                           "(default: PSYNCPIM_CHANNELS or the "
+                           "representative-channel model)")
+    spmm.add_argument("--strategy", default=None,
+                      choices=list(STRATEGY_CHOICES),
+                      help="partitioning strategy (default: "
+                           "PSYNCPIM_STRATEGY or paper; auto = tune per "
+                           "matrix)")
+    spmm.add_argument("--no-compress", action="store_true",
+                      help="disable the Fig. 6 matrix compression")
+    _obs_args(spmm)
+    spmm.set_defaults(handler=_cmd_spmm)
+
     sptrsv = sub.add_parser("sptrsv",
                             help="ILDU-factorise and time both solves")
     _matrix_args(sptrsv)
@@ -145,7 +172,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a job batch in parallel with artifact caching")
     sweep.add_argument("--kernel", default="spmv",
-                       choices=["spmv", "sptrsv", "suite", "fuzz"])
+                       choices=["spmv", "spmm", "sptrsv", "suite", "fuzz"])
+    sweep.add_argument("--rhs", type=int, default=None,
+                       help="SpMM right-hand-side columns (default: "
+                            "PSYNCPIM_RHS or 1; other kernels ignore it)")
     sweep.add_argument("--matrices", default=None,
                        help="comma-separated Table IX names (default: the "
                             "kernel's Table IX assignment)")
@@ -410,6 +440,53 @@ def _cmd_spmv(args) -> int:
     return 0
 
 
+def _cmd_spmm(args) -> int:
+    from .config import resolve_rhs
+    want_attrib = _resolve_obs_flags(args)
+    matrix = _load_matrix(args)
+    num_rhs = resolve_rhs(args.rhs)
+    pim = PSyncPIM(num_cubes=args.cubes, precision=args.precision,
+                   channels=args.channels, strategy=args.strategy)
+    x = np.random.default_rng(args.seed).random((matrix.shape[1],
+                                                 num_rhs))
+    result = pim.spmm(matrix, x, compress=not args.no_compress,
+                      precision=args.precision,
+                      matrix_format=args.matrix_format)
+    for j in range(num_rhs):
+        assert np.allclose(result.y[:, j], matrix.matvec(x[:, j]))
+    ex = result.execution
+    ab = pim.time_spmm(result, with_energy=True)
+    pb = time_spmm(ex, pim.config, mode="pb")
+    spmv_cycles = time_spmv(ex, pim.config, mode="ab").cycles
+    print(format_table(["metric", "value"], [
+        ["matrix", f"{matrix.shape[0]}x{matrix.shape[1]}, "
+                   f"nnz={matrix.nnz}"],
+        ["rhs columns", num_rhs],
+        ["tiles / rounds", f"{len(result.plan.tiles)} / {ex.num_rounds}"],
+        ["banks used / imbalance", f"{ex.banks_used}/{ex.num_banks} / "
+                                   f"{ex.imbalance:.2f}"],
+        ["all-bank time", f"{ab.seconds * 1e6:.2f} us "
+                          f"({ab.commands} commands)"],
+        ["per-bank time", f"{pb.seconds * 1e6:.2f} us "
+                          f"({pb.seconds / ab.seconds:.2f}x slower)"],
+        ["cycles per rhs", f"{ab.cycles / num_rhs:.1f} "
+                           f"(SpMV: {spmv_cycles}, amortisation "
+                           f"{spmv_cycles * num_rhs / ab.cycles:.2f}x)"],
+        ["energy", f"{ab.energy.total_joules * 1e6:.1f} uJ"],
+    ], title=f"SpMM on pSyncPIM ({args.precision}, k={num_rhs})"))
+    if want_attrib:
+        attribution, perf = obs.attribute_spmm(ex, pim.config, mode="ab")
+        report = obs.build_run_report(
+            attribution, perf, label=f"spmm/{args.matrix}", kind="spmm",
+            matrix=args.matrix, mode="ab", channels=ex.num_channels,
+            strategy=args.strategy or "", precision=args.precision,
+            config=pim.config,
+            alu_operations=2 * ex.total_elements * num_rhs)
+        print()
+        print(obs.render_report(report))
+    return 0
+
+
 def _cmd_sptrsv(args) -> int:
     want_attrib = _resolve_obs_flags(args)
     matrix = _load_matrix(args)
@@ -455,7 +532,7 @@ def _cmd_sweep(args) -> int:
                       num_cubes=args.cubes, platform=args.platform,
                       mode=args.mode, with_energy=args.energy,
                       channels=args.channels, strategy=args.strategy,
-                      attrib=want_attrib or None)
+                      rhs=args.rhs, attrib=want_attrib or None)
     result = run_sweep(jobs, workers=args.workers,
                        cache_dir=args.cache_dir,
                        use_cache=not args.no_cache,

@@ -23,9 +23,11 @@ import numpy as np
 from ..config import SystemConfig, default_system
 from ..errors import ExecutionError
 from ..formats import COOMatrix
+from .spmm import SpmmResult, run_spmm
 from .spmv import SpmvResult, run_spmv
 from .sptrsv import ILDUFactors, SpTrsvResult, ildu, run_sptrsv
-from .timing import PerfReport, time_dense_kernel, time_spmv, time_sptrsv
+from .timing import (PerfReport, time_dense_kernel, time_spmm, time_spmv,
+                     time_sptrsv)
 from .trace import TraceParams
 
 
@@ -73,6 +75,28 @@ class PSyncPIM:
                         channels=self.channels,
                         strategy=self.strategy)
 
+    def spmm(self, matrix: COOMatrix, x: np.ndarray,
+             multiply: str = "mul", accumulate: str = "add",
+             y0: Optional[np.ndarray] = None,
+             compress: bool = True, policy: str = "paper",
+             precision: Optional[str] = None,
+             matrix_format: str = "coo") -> SpmmResult:
+        """Sparse matrix times a dense block of k right-hand sides.
+
+        *x* has shape ``(n, k)`` (a 1-D vector runs as ``k = 1``, which
+        is bitwise :meth:`spmv`); one plan stays resident across all k
+        columns.
+        """
+        return run_spmm(matrix, x, self.config,
+                        precision=precision or self.precision,
+                        compress=compress, policy=policy,
+                        fidelity=self.fidelity, multiply=multiply,
+                        accumulate=accumulate, y0=y0,
+                        engine_banks=self.engine_banks,
+                        matrix_format=matrix_format,
+                        channels=self.channels,
+                        strategy=self.strategy)
+
     def sptrsv(self, triangular: COOMatrix, b: np.ndarray,
                lower: bool = True, reorder: bool = True,
                precision: Optional[str] = None) -> SpTrsvResult:
@@ -102,6 +126,12 @@ class PSyncPIM:
                   with_energy: bool = False) -> PerfReport:
         """Price an executed SpMV in all-bank or per-bank mode."""
         return time_spmv(result.execution, self.config, mode=mode,
+                         params=self.trace_params, with_energy=with_energy)
+
+    def time_spmm(self, result: SpmmResult, mode: str = "ab",
+                  with_energy: bool = False) -> PerfReport:
+        """Price an executed SpMM in all-bank or per-bank mode."""
+        return time_spmm(result.execution, self.config, mode=mode,
                          params=self.trace_params, with_energy=with_energy)
 
     def time_sptrsv(self, result: SpTrsvResult,

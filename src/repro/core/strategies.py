@@ -46,7 +46,7 @@ from .trace import TraceParams
 
 #: Bump when the cost model, probe set or tuning protocol changes: the
 #: tune cache keys (and therefore every memoized verdict) include it.
-TUNER_VERSION = 1
+TUNER_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -460,6 +460,12 @@ _PROBE_ROUNDS = (
     ([128, 128], [128, 64], [64, 128]),
 )
 
+#: Right-hand-side widths the SpMM probes are priced at (beyond the
+#: plain SpMV width of 1): one within a single fp64 rhs block and one
+#: spanning several, so the marginal-rhs feature column is conditioned
+#: on both regimes.
+_PROBE_RHS = (4, 16)
+
 _CALIBRATION: Dict[str, np.ndarray] = {}
 _TUNE_MEMO: Dict[str, "TuneResult"] = {}
 
@@ -472,14 +478,22 @@ def _features(execution: SpmvExecution) -> np.ndarray:
     per-round input-replication staging and output-merge traffic; the
     round count captures the fixed per-round overhead (mode switches,
     program load, row re-opens); the constant absorbs trace-level
-    startup.
+    startup. The final term is the *marginal* right-hand-side traffic of
+    an SpMM execution — every column past the first re-gathers the
+    lock-step stream and re-stages/merges the x/y vectors while the
+    program load and matrix residency are amortised — and is zero for
+    plain SpMV records, keeping their estimates bitwise at width 1.
     """
+    extra_rhs = getattr(execution, "num_rhs", 1) - 1
     return np.array([
         float(execution.lockstep_elements),
         float(sum(execution.round_x_lengths)),
         float(sum(execution.round_y_lengths)),
         float(execution.num_rounds),
         1.0,
+        float(extra_rhs) * float(execution.lockstep_elements
+                                 + sum(execution.round_x_lengths)
+                                 + sum(execution.round_y_lengths)),
     ])
 
 
@@ -496,18 +510,21 @@ def _calibration(config: SystemConfig, precision: str,
                  params: TraceParams) -> np.ndarray:
     """Least-squares weights fitting modelled cycles on the probe set.
 
-    The probes run through the *real* pipeline — ``spmv_ab_trace`` then
-    ``price_trace`` — so the weights inherit the trace synthesis and
-    JEDEC timing of the platform being tuned for; they are cached per
-    (config, precision, trace params) for the process lifetime.
+    The probes run through the *real* pipeline — ``spmv_ab_trace`` (plus
+    ``spmm_ab_trace`` at the :data:`_PROBE_RHS` widths, conditioning the
+    marginal-rhs column) then ``price_trace`` — so the weights inherit
+    the trace synthesis and JEDEC timing of the platform being tuned
+    for; they are cached per (config, precision, trace params) for the
+    process lifetime.
     """
     from ..sweep.cache import stable_digest
     key = stable_digest(TUNER_VERSION, config, precision, params)
     weights = _CALIBRATION.get(key)
     if weights is not None:
         return weights
+    from .spmm import as_spmm_execution
     from .timing import price_trace
-    from .trace import spmv_ab_trace
+    from .trace import spmm_ab_trace, spmv_ab_trace
     feats, cycles = [], []
     for batches, xs, ys in _PROBE_ROUNDS:
         execution = _probe_execution(batches, xs, ys, precision)
@@ -515,6 +532,12 @@ def _calibration(config: SystemConfig, precision: str,
         report = price_trace(trace, config, precision=precision)
         feats.append(_features(execution))
         cycles.append(float(report.cycles))
+        for rhs in _PROBE_RHS:
+            widened = as_spmm_execution(execution, rhs)
+            trace = spmm_ab_trace(widened, config, params)
+            report = price_trace(trace, config, precision=precision)
+            feats.append(_features(widened))
+            cycles.append(float(report.cycles))
     weights, *_ = np.linalg.lstsq(np.array(feats), np.array(cycles),
                                   rcond=None)
     _CALIBRATION[key] = weights

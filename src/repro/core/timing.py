@@ -17,7 +17,8 @@ from ..errors import ExecutionError
 from .. import obs
 from .spmv import SpmvExecution
 from .sptrsv import SpTrsvExecution
-from .trace import (TraceParams, dense_stream_trace, spmv_ab_trace,
+from .trace import (TraceParams, dense_stream_trace, spmm_ab_trace,
+                    spmm_channels_trace, spmm_pb_trace, spmv_ab_trace,
                     spmv_channels_trace, spmv_pb_trace, sptrsv_ab_trace,
                     sptrsv_channels_trace)
 
@@ -130,6 +131,33 @@ def time_spmv(execution: SpmvExecution, config: SystemConfig,
         trace = spmv_pb_trace(execution, config, params)
     # one multiply + one accumulate per element, on every bank it touches
     alu_ops = 2 * execution.total_elements
+    return price_trace(trace, config, with_energy=with_energy,
+                       alu_operations=alu_ops,
+                       precision=execution.precision,
+                       channels=execution.num_channels)
+
+
+def time_spmm(execution: SpmvExecution, config: SystemConfig,
+              mode: str = "ab", params: TraceParams = TraceParams(),
+              with_energy: bool = False) -> PerfReport:
+    """Price one SpMM in all-bank (``"ab"``) or per-bank (``"pb"``) mode.
+
+    The execution record carries the right-hand-side width (an
+    :class:`~repro.core.spmm.SpmmExecution`); with ``num_rhs == 1`` the
+    synthesised trace, and therefore the report, is bitwise
+    :func:`time_spmv`.
+    """
+    if mode not in ("ab", "pb"):
+        raise ExecutionError(f"unknown PIM mode {mode!r}")
+    if execution.num_channels is not None:
+        trace = spmm_channels_trace(execution, config, params, mode=mode)
+    elif mode == "ab":
+        trace = spmm_ab_trace(execution, config, params)
+    else:
+        trace = spmm_pb_trace(execution, config, params)
+    # one multiply + one accumulate per element per right-hand side
+    num_rhs = getattr(execution, "num_rhs", 1)
+    alu_ops = 2 * execution.total_elements * num_rhs
     return price_trace(trace, config, with_energy=with_energy,
                        alu_operations=alu_ops,
                        precision=execution.precision,

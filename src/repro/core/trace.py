@@ -222,7 +222,7 @@ def host_stage(bytes_per_bank: float, write: bool, row: int,
 def _kernel_batches(batches: int, batch_elems: int, eb: float,
                     params: TraceParams, all_bank: bool,
                     bank: int = 0, y_bytes: int = 1024,
-                    channel: int = 0) -> List[TraceEntry]:
+                    channel: int = 0, rhs: int = 1) -> List[TraceEntry]:
     """The AB-PIM (or PB) phase schedule for one tile stream.
 
     Per queue batch: stream the COO elements from the matrix rows, then
@@ -231,11 +231,16 @@ def _kernel_batches(batches: int, batch_elems: int, eb: float,
     row-sorted, so the 32 B output window advances monotonically and is
     flushed (read-modify-write on the output row) only when it moves —
     amortising output row visits over many batches.
+
+    *rhs* widens each gather to an rhs-block of dense columns (SpMM):
+    the matrix stream is paid once per block while every element gathers
+    ``rhs`` input values; callers pass ``y_bytes`` pre-scaled by the
+    block width. ``rhs=1`` is bitwise the SpMV schedule.
     """
     trace: List[TraceEntry] = []
     cursor = _RowCursor(all_bank, bank=bank, channel=channel)
     mat_bytes_done = 0
-    gather_beats = max(1, round(batch_elems / params.gather_locality))
+    gather_beats = max(1, round(batch_elems / params.gather_locality)) * rhs
     y_beats_total = _beats(y_bytes)
     flush_debt = 0.0
     flush_per_batch = y_beats_total / max(batches, 1)
@@ -435,6 +440,174 @@ def spmv_channels_segments(execution: SpmvExecution, config: SystemConfig,
         out.splice(synth(sub, config, params, channel=ch,
                          banks=execution.banks_per_channel))
     return out.done()
+
+
+# ----------------------------------------------------------------------
+# SpMM traces: one resident plan, k right-hand sides in rhs-blocks
+# ----------------------------------------------------------------------
+def rhs_block_width(precision: str) -> int:
+    """Dense columns one 32 B output window serves per output word.
+
+    The accumulate-into-DRF0 window holds one output word per block
+    column, so an rhs-block is at most ``BEAT_BYTES / value_bytes``
+    columns wide (4 for fp64, 8 for fp32); wider workloads re-stream the
+    matrix once per block.
+    """
+    return max(1, BEAT_BYTES // element_size(precision))
+
+
+def _rhs_blocks(num_rhs: int, precision: str) -> List[int]:
+    """Split *num_rhs* columns into per-block widths."""
+    block = rhs_block_width(precision)
+    return [min(block, num_rhs - at)
+            for at in range(0, num_rhs, block)]
+
+
+def spmm_ab_segments(execution: SpmvExecution, config: SystemConfig,
+                     params: TraceParams = TraceParams(),
+                     channel: int = 0,
+                     banks: Optional[int] = None,
+                     prefix: str = "") -> SegmentedTrace:
+    """All-bank SpMM schedule with per-round, per-rhs-block segments.
+
+    Per round: ``r<N>.stage`` stages all ``k`` input columns,
+    ``r<N>.seam`` programs the kernel ONCE (the amortised cost), then
+    one ``r<N>.b<J>.kernel`` segment per rhs-block streams the resident
+    matrix against that block's columns, and ``r<N>.merge`` collects all
+    ``k`` output columns. With ``num_rhs == 1`` this *is*
+    :func:`spmv_ab_segments` — same trace, same labels.
+    """
+    num_rhs = getattr(execution, "num_rhs", 1)
+    if num_rhs == 1:
+        return spmv_ab_segments(execution, config, params,
+                                channel=channel, banks=banks,
+                                prefix=prefix)
+    banks = banks if banks is not None else execution.banks_per_channel
+    vb = element_size(execution.precision)
+    eb = execution.stream_bytes_per_element
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    blocks = _rhs_blocks(num_rhs, execution.precision)
+    out = _SegmentBuilder()
+    for r, round_elems in enumerate(execution.round_batches):
+        # host stages every column of this round's input segments
+        out.add(f"{prefix}r{r}.stage", channel,
+                host_stage(execution.round_x_lengths[r] * vb * num_rhs,
+                           write=True, row=INPUT_ROW, tag="stage_x",
+                           channel=channel, banks=banks))
+        # SB -> AB: program once; the block loop re-enters AB-PIM freely
+        out.add(f"{prefix}r{r}.seam", channel,
+                mode_switch(channel) + program_load(params, channel=channel)
+                + mode_switch(channel))
+        phase = rf_batch * params.queue_phases
+        batches = max(1, math.ceil(round_elems / phase))
+        for j, width in enumerate(blocks):
+            out.add(f"{prefix}r{r}.b{j}.kernel", channel,
+                    _kernel_batches(
+                        batches, phase, eb, params, all_bank=True,
+                        y_bytes=execution.round_y_lengths[r] * vb * width,
+                        channel=channel, rhs=width))
+        # AB-PIM -> SB, then the host merges every output column
+        out.add(f"{prefix}r{r}.merge", channel,
+                mode_switch(channel)
+                + host_stage(execution.round_y_lengths[r] * vb * num_rhs,
+                             write=False, row=OUTPUT_ROW, tag="merge_y",
+                             channel=channel, banks=banks))
+    return out.done()
+
+
+def spmm_ab_trace(execution: SpmvExecution, config: SystemConfig,
+                  params: TraceParams = TraceParams(),
+                  channel: int = 0,
+                  banks: Optional[int] = None) -> List[TraceEntry]:
+    """All-bank pSyncPIM schedule of one SpMM on one channel."""
+    return spmm_ab_segments(execution, config, params, channel=channel,
+                            banks=banks).trace
+
+
+def spmm_pb_segments(execution: SpmvExecution, config: SystemConfig,
+                     params: TraceParams = TraceParams(),
+                     channel: int = 0,
+                     banks: Optional[int] = None,
+                     prefix: str = "") -> SegmentedTrace:
+    """Per-bank SpMM schedule with per-round, per-rhs-block segments.
+
+    Each ``r<N>.b<J>.kernel`` segment replays every bank's single-bank
+    arm against one rhs-block; stage/merge carry all ``k`` columns. With
+    ``num_rhs == 1`` this *is* :func:`spmv_pb_segments`.
+    """
+    num_rhs = getattr(execution, "num_rhs", 1)
+    if num_rhs == 1:
+        return spmv_pb_segments(execution, config, params,
+                                channel=channel, banks=banks,
+                                prefix=prefix)
+    banks = banks if banks is not None else execution.banks_per_channel
+    vb = element_size(execution.precision)
+    eb = execution.stream_bytes_per_element
+    rf_batch = _queue_batch(execution.precision, params.subqueue_bytes)
+    per_bank = _representative_channel_loads(execution, banks)
+    rounds = max(1, execution.num_rounds)
+    blocks = _rhs_blocks(num_rhs, execution.precision)
+    out = _SegmentBuilder()
+    for r in range(rounds):
+        out.add(f"{prefix}r{r}.stage", channel,
+                host_stage(execution.round_x_lengths[r] * vb * num_rhs,
+                           write=True, row=INPUT_ROW, tag="stage_x",
+                           channel=channel, banks=banks))
+        for j, width in enumerate(blocks):
+            arms: List[TraceEntry] = []
+            for bank, elements in enumerate(per_bank):
+                share = elements / rounds
+                if share <= 0:
+                    continue
+                arms += mode_switch(channel)  # per-bank kernel arm
+                phase = rf_batch * params.queue_phases
+                batches = max(1, math.ceil(share / phase))
+                arms += _kernel_batches(
+                    batches, phase, eb, params, all_bank=False, bank=bank,
+                    y_bytes=execution.round_y_lengths[r] * vb * width,
+                    channel=channel, rhs=width)
+            out.add(f"{prefix}r{r}.b{j}.kernel", channel, arms)
+        out.add(f"{prefix}r{r}.merge", channel,
+                mode_switch(channel)
+                + host_stage(execution.round_y_lengths[r] * vb * num_rhs,
+                             write=False, row=OUTPUT_ROW, tag="merge_y",
+                             channel=channel, banks=banks))
+    return out.done()
+
+
+def spmm_pb_trace(execution: SpmvExecution, config: SystemConfig,
+                  params: TraceParams = TraceParams(),
+                  channel: int = 0,
+                  banks: Optional[int] = None) -> List[TraceEntry]:
+    """Per-bank SpMM schedule (each bank streams each rhs-block)."""
+    return spmm_pb_segments(execution, config, params, channel=channel,
+                            banks=banks).trace
+
+
+def spmm_channels_segments(execution: SpmvExecution, config: SystemConfig,
+                           params: TraceParams = TraceParams(),
+                           mode: str = "ab") -> SegmentedTrace:
+    """Segmented per-channel streams of a channel-sharded SpMM."""
+    if not execution.channel_execs:
+        raise MappingError(
+            "spmm_channels_trace needs a channel-sharded execution "
+            "(plan_spmm(..., channels=C))")
+    synth = spmm_ab_segments if mode == "ab" else spmm_pb_segments
+    out = _SegmentBuilder()
+    for ch, sub in enumerate(execution.channel_execs):
+        if sub.total_elements == 0:
+            continue
+        out.splice(synth(sub, config, params, channel=ch,
+                         banks=execution.banks_per_channel))
+    return out.done()
+
+
+def spmm_channels_trace(execution: SpmvExecution, config: SystemConfig,
+                        params: TraceParams = TraceParams(),
+                        mode: str = "ab") -> List[TraceEntry]:
+    """Concatenated per-channel streams of a channel-sharded SpMM."""
+    return spmm_channels_segments(execution, config, params,
+                                  mode=mode).trace
 
 
 def _representative_channel_loads(execution: SpmvExecution,

@@ -7,6 +7,7 @@ from .base import (MAX_LOOP_COUNT, LaunchStats, broadcast_scalar,
 from .blas1 import (KernelRun, daxpy, dcopy, ddot, dnrm2, dscal, dswap,
                     elementwise, gather, scatter, spaxpy, spdot)
 from .gemv import dgemv, dtrsv
+from .spmm import TileBlockResult, expand_block_tiles, run_tile_block
 from .spmv import Tile, TileRoundResult, empty_tile, run_tile_round
 from .spvspv import spvspv
 
@@ -17,5 +18,6 @@ __all__ = [
     "KernelRun", "daxpy", "dcopy", "ddot", "dnrm2", "dscal", "dswap",
     "elementwise", "gather", "scatter", "spaxpy", "spdot",
     "dgemv", "dtrsv", "Tile", "TileRoundResult", "empty_tile",
-    "run_tile_round", "spvspv",
+    "run_tile_round", "TileBlockResult", "expand_block_tiles",
+    "run_tile_block", "spvspv",
 ]

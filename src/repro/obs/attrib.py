@@ -490,6 +490,36 @@ def attribute_spmv(execution, config, mode: str = "ab", params=None,
         with_energy=with_energy)
 
 
+def attribute_spmm(execution, config, mode: str = "ab", params=None,
+                   timing=None, with_energy: bool = False):
+    """Attribute one SpMM execution; returns ``(Attribution, PerfReport)``.
+
+    The layout is the SpMV layout, so the useful-load split carries over
+    unchanged (both the useful and the lock-step streams scale by the
+    right-hand-side width, leaving the compute/padding ratio intact);
+    ALU work scales by ``num_rhs``. At width 1 the synthesised segments
+    delegate to the SpMV synthesisers, making the attribution bitwise
+    :func:`attribute_spmv`.
+    """
+    from ..core.trace import (TraceParams, spmm_ab_segments,
+                              spmm_channels_segments, spmm_pb_segments)
+    if params is None:
+        params = TraceParams()
+    if execution.num_channels is not None:
+        seg = spmm_channels_segments(execution, config, params, mode=mode)
+    elif mode == "ab":
+        seg = spmm_ab_segments(execution, config, params)
+    else:
+        seg = spmm_pb_segments(execution, config, params)
+    num_rhs = getattr(execution, "num_rhs", 1)
+    return attribute_trace(
+        seg.trace, config, segments=seg.segments,
+        useful_loads=spmv_useful_loads(execution, mode), timing=timing,
+        channels=execution.num_channels, precision=execution.precision,
+        alu_operations=2 * execution.total_elements * num_rhs,
+        with_energy=with_energy)
+
+
 def attribute_sptrsv(execution, config, params=None, timing=None,
                      with_energy: bool = False):
     """Attribute one SpTRSV execution; returns ``(Attribution,

@@ -31,13 +31,15 @@ from ..analysis.report import JobRecord, SweepResult
 from .. import obs
 from ..config import (SystemConfig, default_system, gddr6_aim_system,
                       resolve_attrib, resolve_batch, resolve_channels,
-                      resolve_strategy)
+                      resolve_rhs, resolve_strategy)
+from ..core.spmm import as_spmm_execution
 from ..core.spmv import plan_spmv
 from ..core.sptrsv import ildu, level_schedule, run_sptrsv
 from ..core.timing import PerfReport, price_trace
-from ..core.trace import (TraceParams, spmv_ab_trace, spmv_channels_trace,
-                          spmv_pb_trace, sptrsv_ab_trace,
-                          sptrsv_channels_trace)
+from ..core.trace import (TraceParams, spmm_ab_trace, spmm_channels_trace,
+                          spmm_pb_trace, spmv_ab_trace,
+                          spmv_channels_trace, spmv_pb_trace,
+                          sptrsv_ab_trace, sptrsv_channels_trace)
 from ..errors import ExecutionError
 from ..formats import (COOMatrix, generate, matrix_spec,
                        read_matrix_market, suite_names)
@@ -101,8 +103,9 @@ class SweepJob:
 
     ``matrix`` is a Table IX name (regenerated at ``scale`` inside the
     worker) or a ``.mtx`` file path. ``kernel`` selects the pipeline:
-    ``"spmv"`` and ``"sptrsv"`` produce a :class:`PerfReport`;
-    ``"suite"`` only materialises the matrix (Table IX regeneration).
+    ``"spmv"``, ``"spmm"`` and ``"sptrsv"`` produce a
+    :class:`PerfReport`; ``"suite"`` only materialises the matrix
+    (Table IX regeneration).
     """
 
     kernel: str = "spmv"
@@ -124,6 +127,10 @@ class SweepJob:
     #: Partitioning strategy (None resolves through
     #: :func:`repro.config.resolve_strategy`; "auto" tunes per matrix).
     strategy: Optional[str] = None
+    #: SpMM right-hand-side width (None resolves through
+    #: :func:`repro.config.resolve_rhs` / ``PSYNCPIM_RHS``; other
+    #: kernels ignore it).
+    rhs: Optional[int] = None
     #: Cycle attribution: build a :class:`repro.obs.report.RunReport`
     #: alongside the PerfReport (None resolves through
     #: :func:`repro.config.resolve_attrib` / ``PSYNCPIM_ATTRIB``).
@@ -149,6 +156,8 @@ class SweepJob:
             parts.append(f"{self.channels}ch")
         if self.strategy not in (None, "paper"):
             parts.append(self.strategy)
+        if self.kernel == "spmm":
+            parts.append(f"k{resolve_rhs(self.rhs)}")
         return "/".join(parts)
 
     def system(self) -> SystemConfig:
@@ -242,6 +251,97 @@ def _spmv_pipeline(job: SweepJob, cache: ArtifactCache,
 
         extras["_attrib"] = cache.get_or_compute(
             "attrib", cache.key("spmv-attrib", schedule_key,
+                                ATTRIB_VERSION), compute_attrib)
+    return report, extras
+
+
+def _spmm_pipeline(job: SweepJob, cache: ArtifactCache,
+                   batch: str = "off",
+                   ) -> Tuple[Optional[PerfReport], Dict[str, Any]]:
+    """The SpMM pipeline: the SpMV plan, widened to ``rhs`` columns.
+
+    The plan/assignment stage shares the ``spmv-plan`` cache entries
+    (the layout is identical, so an SpMV sweep warms an SpMM sweep and
+    vice versa); only the trace/schedule/attrib stages key on the
+    right-hand-side width.
+    """
+    matrix = job.load_matrix()
+    config = job.system()
+    params = TraceParams()
+    mkey = matrix_digest(matrix)
+    channels = resolve_channels(job.channels)
+    strategy = resolve_strategy(job.strategy)
+    num_rhs = resolve_rhs(job.rhs)
+
+    plan_key = cache.key("spmv-plan", mkey, config, job.precision,
+                         job.compress, job.policy, channels, strategy)
+    plan, assignment = cache.get_or_compute(
+        "plan", plan_key,
+        lambda: plan_spmv(matrix, config, precision=job.precision,
+                          compress=job.compress, policy=job.policy,
+                          matrix_format=job.matrix_format,
+                          validate=False, channels=channels,
+                          strategy=strategy, tuner_cache=cache)[:2])
+    _, _, execution = plan_spmv(matrix, config, precision=job.precision,
+                                compress=job.compress, policy=job.policy,
+                                matrix_format=job.matrix_format,
+                                plan=plan, assignment=assignment,
+                                validate=False, channels=channels)
+    execution = as_spmm_execution(execution, num_rhs)
+
+    trace_key = cache.key("spmm-trace", execution, config, params,
+                          job.mode, num_rhs)
+    schedule_key = cache.key("spmm-schedule", trace_key, job.with_energy)
+
+    def compute_report() -> PerfReport:
+        if execution.num_channels is not None:
+            def synthesise(execution, config, params):
+                return spmm_channels_trace(execution, config, params,
+                                           mode=job.mode)
+        else:
+            synthesise = (spmm_ab_trace if job.mode == "ab"
+                          else spmm_pb_trace)
+        trace = cache.get_or_compute(
+            "trace", trace_key,
+            lambda: synthesise(execution, config, params))
+        return price_trace(
+            trace, config, with_energy=job.with_energy,
+            alu_operations=2 * execution.total_elements * num_rhs,
+            precision=job.precision, channels=execution.num_channels)
+
+    report = cache.get_or_compute("schedule", schedule_key, compute_report)
+    extras = {
+        "rows": matrix.shape[0],
+        "cols": matrix.shape[1],
+        "nnz": matrix.nnz,
+        "tiles": len(plan.tiles),
+        "rounds": execution.num_rounds,
+        "banks_used": execution.banks_used,
+        "imbalance": execution.imbalance,
+        "rhs": num_rhs,
+        "cycles_per_rhs": report.cycles / num_rhs,
+    }
+    if channels is not None:
+        extras["channels"] = channels
+    if strategy != "paper":
+        extras["strategy"] = strategy
+    if resolve_attrib(job.attrib):
+        from ..obs.attrib import ATTRIB_VERSION, attribute_spmm
+        from ..obs.report import build_run_report
+
+        def compute_attrib():
+            attribution, perf = attribute_spmm(
+                execution, config, mode=job.mode,
+                with_energy=job.with_energy)
+            return build_run_report(
+                attribution, perf, label=job.resolved_label(),
+                kind="spmm", matrix=job.matrix, mode=job.mode,
+                channels=channels, strategy=strategy,
+                precision=job.precision, config=config,
+                alu_operations=2 * execution.total_elements * num_rhs)
+
+        extras["_attrib"] = cache.get_or_compute(
+            "attrib", cache.key("spmm-attrib", schedule_key,
                                 ATTRIB_VERSION), compute_attrib)
     return report, extras
 
@@ -386,6 +486,7 @@ def _fuzz_pipeline(job: SweepJob, cache: ArtifactCache,
 
 _PIPELINES = {
     "spmv": _spmv_pipeline,
+    "spmm": _spmm_pipeline,
     "sptrsv": _sptrsv_pipeline,
     "suite": _suite_pipeline,
     "fuzz": _fuzz_pipeline,
@@ -461,7 +562,7 @@ def _batch_key(job: SweepJob) -> tuple:
     return (job.kernel, job.scale, job.precision, job.num_cubes,
             job.platform, job.mode, job.compress, job.policy,
             job.matrix_format, job.with_energy, job.channels,
-            job.strategy, job.attrib)
+            job.strategy, job.rhs, job.attrib)
 
 
 def _batch_groups(jobs: Sequence[SweepJob]) -> "list[list[int]]":
@@ -593,6 +694,10 @@ def suite_jobs(kernel: str = "spmv", matrices: Optional[Iterable[str]] = None,
             matrices = suite_names()
         elif kernel in ("spmv", "sptrsv"):
             matrices = matrices_for(kernel)
+        elif kernel == "spmm":
+            # SpMM shares the SpMV Table IX assignment (same matrices,
+            # k dense right-hand sides).
+            matrices = matrices_for("spmv")
         else:
             raise ExecutionError(
                 f"no default matrix list for kernel {kernel!r}")

@@ -17,9 +17,10 @@ from repro.dram.commands import expand_trace
 from repro.errors import ConfigError, ExecutionError
 from repro.formats import generate, matrices_for
 from repro.obs.attrib import (ATTRIB_VERSION, CATEGORIES,
-                              AttributionCollector, attribute_spmv,
-                              attribute_sptrsv, attribute_trace,
-                              category_of, critical_path, phase_cycles)
+                              AttributionCollector, attribute_spmm,
+                              attribute_spmv, attribute_sptrsv,
+                              attribute_trace, category_of,
+                              critical_path, phase_cycles)
 from repro.obs.report import (RunReport, build_run_report, diff_reports,
                               load_reports, render_diff, render_html,
                               render_report, save_reports)
@@ -111,6 +112,64 @@ def test_sptrsv_suite_sum_to_total_sharded(name, channels, config):
     attribution, perf = _sptrsv_attr(name, config, channels=channels)
     _assert_exact(attribution, perf)
     assert attribution.num_lanes == channels * 16
+
+
+def _spmm_attr(matrix, config, num_rhs, channels=None, mode="ab"):
+    from repro.core.spmm import plan_spmm
+    _, _, execution = plan_spmm(matrix, config, num_rhs=num_rhs,
+                                channels=channels)
+    return attribute_spmm(execution, config, mode=mode)
+
+
+@pytest.mark.parametrize("num_rhs", [1, 4, 16])
+@pytest.mark.parametrize("mode", ["ab", "pb"])
+def test_spmm_sum_to_total(num_rhs, mode, config):
+    matrix = generate("wiki-Vote", scale=SCALE)
+    attribution, perf = _spmm_attr(matrix, config, num_rhs, mode=mode)
+    _assert_exact(attribution, perf)
+
+
+@pytest.mark.parametrize("channels", [1, 4, 16])
+def test_spmm_sharded_sum_to_total(channels, config):
+    matrix = generate("poisson3Da", scale=SCALE)
+    attribution, perf = _spmm_attr(matrix, config, num_rhs=4,
+                                   channels=channels)
+    _assert_exact(attribution, perf)
+    assert attribution.num_lanes == channels * 16
+
+
+def test_spmm_phases_include_rhs_blocks(config):
+    matrix = generate("wiki-Vote", scale=SCALE)
+    attribution, _ = _spmm_attr(matrix, config, num_rhs=8)
+    phases = phase_cycles(attribution)
+    assert {"stage", "seam", "kernel", "merge"} <= set(phases)
+    assert all(v >= 0 for v in phases.values())
+
+
+@pytest.mark.parametrize("channels", [1, 4, 16])
+def test_spmm_traces_pass_protocol_checker(channels, config):
+    """Every widened trace still obeys the JEDEC rules the protocol
+    checker re-derives from TimingParams."""
+    from repro.check import check_trace, summarize
+    from repro.core import spmm_channels_trace
+    matrix = generate("poisson3Da", scale=SCALE)
+    from repro.core.spmm import plan_spmm
+    _, _, execution = plan_spmm(matrix, config, num_rhs=4,
+                                channels=channels)
+    violations = check_trace(spmm_channels_trace(execution, config))
+    assert not violations, summarize(violations)
+
+
+@pytest.mark.parametrize("mode", ["ab", "pb"])
+def test_spmm_single_channel_trace_passes_protocol(mode, config):
+    from repro.check import check_trace, summarize
+    from repro.core import spmm_ab_trace, spmm_pb_trace
+    from repro.core.spmm import plan_spmm
+    matrix = generate("wiki-Vote", scale=SCALE)
+    _, _, execution = plan_spmm(matrix, config, num_rhs=6)
+    synth = spmm_ab_trace if mode == "ab" else spmm_pb_trace
+    violations = check_trace(synth(execution, config))
+    assert not violations, summarize(violations)
 
 
 def test_both_engines_attribute_identically(config):
